@@ -1,0 +1,62 @@
+// Ablation over the configuration-space choices the prototype makes
+// (DESIGN.md §4.1): power-of-two-only split factors and product <= p vs
+// product == p. Reports both solver time and the quality (cost ratio vs the
+// default space's optimum) so the pruning's effect is visible.
+#include "bench_common.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace pase;
+
+int main() {
+  const i64 p = 8;
+  const MachineSpec m = MachineSpec::gtx1080ti(p);
+
+  TextTable table(
+      "Ablation: configuration-space variants (p = 8, 1080Ti profile)");
+  table.set_header({"Benchmark", "Variant", "K", "Time", "Cost vs default"});
+
+  char buf[32];
+  for (const auto& b : models::paper_benchmarks()) {
+    struct Variant {
+      const char* name;
+      bool pow2;
+      bool full_use;
+    };
+    const Variant variants[] = {
+        {"pow2, <=p (default)", true, false},
+        {"pow2, ==p", true, true},
+        {"any factor, <=p", false, false},
+    };
+    double default_cost = 0.0;
+    bool first = true;
+    for (const Variant& v : variants) {
+      DpOptions opt = bench::dp_options(m);
+      opt.config_options.powers_of_two_only = v.pow2;
+      opt.config_options.require_full_use = v.full_use;
+      const ConfigCache cache(b.graph, opt.config_options);
+      const DpResult r = find_best_strategy(b.graph, opt);
+      std::vector<std::string> row = {first ? b.name : "", v.name,
+                                      std::to_string(cache.max_configs())};
+      if (r.status == DpStatus::kOk) {
+        if (first) default_cost = r.best_cost;
+        row.push_back(format_mins_secs(r.elapsed_seconds));
+        std::snprintf(buf, sizeof(buf), "%.4f", r.best_cost / default_cost);
+        row.push_back(buf);
+      } else {
+        row.push_back("OOM");
+        row.push_back("-");
+      }
+      table.add_row(row);
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::printf(
+      "\nReading: '==p' forbids leaving devices idle (can only raise cost);\n"
+      "non-power-of-two factors enlarge K with little quality gain — the\n"
+      "justification for the default pruning, which matches the paper's\n"
+      "reported K ranges.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation for paper §V heterogeneity: a mixed cluster whose second half
+// runs at 60% peak. The analytical model prices compute at the weakest
+// device (the §V rule); the simulator resolves true per-device speeds.
+#include "bench_common.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace pase;
+
+int main() {
+  const i64 p = 16;
+
+  TextTable table(
+      "Ablation: heterogeneous cluster (16 devices: 8x 1080Ti + 8x 0.6-peak)"
+      " — simulated step time (ms)");
+  table.set_header({"Benchmark", "Strategy", "Homogeneous", "Mixed",
+                    "Mixed/Homog."});
+
+  const MachineSpec homog = MachineSpec::gtx1080ti(p);
+  const MachineSpec mixed = MachineSpec::mixed_cluster(p, 0.6);
+
+  char buf[32];
+  for (const auto& b : models::paper_benchmarks()) {
+    struct Row {
+      std::string name;
+      Strategy homog_phi, mixed_phi;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"DataParallel", data_parallel_strategy(b.graph, p),
+                    data_parallel_strategy(b.graph, p)});
+    const DpResult rh = find_best_strategy(b.graph, bench::dp_options(homog));
+    const DpResult rm = find_best_strategy(b.graph, bench::dp_options(mixed));
+    rows.push_back({"PaSE (ours)", rh.strategy, rm.strategy});
+
+    const Simulator sh(b.graph, homog);
+    const Simulator sm(b.graph, mixed);
+    bool first = true;
+    for (const Row& row : rows) {
+      const double th = sh.simulate(row.homog_phi).step_time_s * 1e3;
+      const double tm = sm.simulate(row.mixed_phi).step_time_s * 1e3;
+      std::vector<std::string> cells = {first ? b.name : "", row.name};
+      std::snprintf(buf, sizeof(buf), "%.2f", th);
+      cells.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2f", tm);
+      cells.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2fx", tm / th);
+      cells.push_back(buf);
+      table.add_row(cells);
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::printf(
+      "\nPer §V, PaSE searches with the weakest device's FLOP rate; the\n"
+      "found strategies remain valid (and still beat data parallelism)\n"
+      "when the slow half of the machine gates every wide layer.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation for the paper's §VI composition with PipeDream: split the graph
+// into pipeline stages, parallelize each stage with PaSE, and compare the
+// estimated step time against pure (single-stage) PaSE.
+#include "bench_common.h"
+#include "pipeline/pipeline.h"
+#include "util/table.h"
+
+using namespace pase;
+
+int main() {
+  const MachineSpec m = MachineSpec::gtx1080ti(32);
+
+  TextTable table(
+      "Ablation: PipeDream-style stages + PaSE per stage vs pure PaSE "
+      "(p = 32, 1080Ti, 8 micro-batches)");
+  table.set_header({"Benchmark", "Best stages", "Devices/stage",
+                    "Bottleneck (ms)", "Pipelined step (ms)",
+                    "Pure PaSE step (ms)", "Pipeline gain"});
+
+  auto benchmarks = models::paper_benchmarks();
+  benchmarks.push_back({"VGG16", models::vgg16()});
+  benchmarks.push_back({"ResNet50", models::resnet50()});
+
+  char buf[32];
+  for (const auto& b : benchmarks) {
+    PipelineOptions o;
+    o.stage_counts = {1, 2, 4};
+    o.solver.cost_params = CostParams::for_machine(m);
+    const PipelineResult r = partition_pipeline(b.graph, m, o);
+    std::vector<std::string> row = {b.name,
+                                    std::to_string(r.stages.size()),
+                                    std::to_string(r.devices_per_stage)};
+    std::snprintf(buf, sizeof(buf), "%.2f", r.bottleneck_seconds * 1e3);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", r.step_seconds * 1e3);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", r.no_pipeline_seconds * 1e3);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2fx",
+                  r.no_pipeline_seconds / r.step_seconds);
+    row.push_back(buf);
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\nPaper §VI: PaSE ignores inter-layer pipeline parallelism, and\n"
+      "proposes stacking it with a PipeDream-style stage partition — each\n"
+      "stage's subgraph re-parallelized by FindBestStrategy. Gains <= 1.0x\n"
+      "mean the partitioner (correctly) fell back to a single stage:\n"
+      "consistent with the paper's observation that most DNNs lack\n"
+      "sufficient inherent pipeline parallelism.\n");
+  return 0;
+}

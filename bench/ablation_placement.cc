@@ -1,0 +1,57 @@
+// Ablation for paper §II device placement: the greedy locality-maximizing
+// assignment vs a naive declaration-order layout, measured as the total
+// producer-consumer overlap volume each realizes (higher = less data
+// actually moved; the closed-form t_x assumes the greedy alignment).
+#include "bench_common.h"
+#include "sim/placement.h"
+#include "util/table.h"
+
+using namespace pase;
+
+int main() {
+  const i64 p = 32;
+  const MachineSpec m = MachineSpec::gtx1080ti(p);
+
+  TextTable table(
+      "Ablation: greedy vs naive device placement, locality score "
+      "(overlap GB; higher is better) at p = 32");
+  table.set_header({"Benchmark", "Strategy", "Naive", "Greedy", "Gain"});
+
+  char buf[32];
+  auto fmt = [&](double elems) {
+    std::snprintf(buf, sizeof(buf), "%.3f", elems * 4.0 / 1e9);
+    return std::string(buf);
+  };
+
+  for (const auto& b : models::paper_benchmarks()) {
+    const DpResult r = find_best_strategy(b.graph, bench::dp_options(m));
+    struct Row {
+      const char* name;
+      Strategy phi;
+    };
+    const std::vector<Row> rows = {
+        {"DataParallel", data_parallel_strategy(b.graph, p)},
+        {"PaSE (ours)", r.strategy}};
+    bool first = true;
+    for (const Row& row : rows) {
+      const double naive =
+          locality_score(b.graph, row.phi, naive_placement(b.graph, row.phi));
+      const double greedy = locality_score(
+          b.graph, row.phi, greedy_placement(b.graph, row.phi));
+      std::vector<std::string> cells = {first ? b.name : "", row.name,
+                                        fmt(naive), fmt(greedy)};
+      std::snprintf(buf, sizeof(buf), "%.2fx",
+                    naive > 0 ? greedy / naive : 1.0);
+      cells.push_back(buf);
+      table.add_row(cells);
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::printf(
+      "\nPaper §II: 'a simple greedy assignment that maximizes data\n"
+      "locality works sufficiently well in practice' — the greedy column\n"
+      "realizes the overlap the closed-form t_x credits.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 6a: speedup over data parallelism on the 1080Ti
+// cluster profile (8 GPUs/node, PCIe with P2P, InfiniBand across nodes).
+// Paper's measured ceiling on this machine: up to 1.85x.
+#include "fig6_common.h"
+
+int main() {
+  return pase::bench::run_fig6(
+      "Fig. 6a: speedup over data parallelism, simulated GTX 1080 Ti "
+      "cluster",
+      [](pase::i64 p) { return pase::MachineSpec::gtx1080ti(p); });
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 6b: speedup over data parallelism on the 2080Ti
+// cluster profile. 2080Ti lacks PCIe peer-to-peer access, so the machine
+// balance is very low and strategy inefficiencies are amplified — the paper
+// measures up to 4x there.
+#include "fig6_common.h"
+
+int main() {
+  return pase::bench::run_fig6(
+      "Fig. 6b: speedup over data parallelism, simulated RTX 2080 Ti "
+      "cluster",
+      [](pase::i64 p) { return pase::MachineSpec::rtx2080ti(p); });
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Table II: the best strategies found by FindBestStrategy
+// for a system of 4 nodes x 8 1080Ti GPUs (p = 32), printed per benchmark
+// with runs of identically-configured layers collapsed.
+#include "bench_common.h"
+#include "core/strategy.h"
+#include "util/table.h"
+
+using namespace pase;
+
+int main() {
+  const i64 p = 32;
+  const MachineSpec m = MachineSpec::gtx1080ti(p);
+  std::printf(
+      "Table II: best strategies found by FindBestStrategy for 4 nodes x 8 "
+      "1080Ti GPUs (p = 32)\n\n");
+  for (const auto& b : models::paper_benchmarks()) {
+    const DpResult r = find_best_strategy(b.graph, bench::dp_options(m));
+    if (r.status != DpStatus::kOk) {
+      std::printf("%s: solver ran out of memory\n", b.name.c_str());
+      continue;
+    }
+    // Like the paper's module-level rows, pure data-parallel stretches are
+    // summarized; layers with hybrid/parameter parallelism are listed.
+    TextTable table(b.name);
+    table.set_header({"Layers", "Dimensions", "Configuration"});
+    i64 dp_layers = 0;
+    for (const Node& n : b.graph.nodes()) {
+      const Config& c = r.strategy[static_cast<size_t>(n.id)];
+      bool pure_batch = true;
+      const i64 bdim = n.space.find("b");
+      for (i64 d = 0; d < c.rank(); ++d)
+        if (d != bdim && c[d] > 1) pure_batch = false;
+      if (pure_batch) {
+        ++dp_layers;
+        continue;
+      }
+      table.add_row({n.name, n.space.names(), c.to_string()});
+    }
+    table.add_rule();
+    table.add_row({"(all other layers)", "-",
+                   "pure data parallelism, batch split"});
+    table.print();
+    std::printf("  %lld of %lld layers use pure data parallelism\n\n",
+                static_cast<long long>(dp_layers),
+                static_cast<long long>(b.graph.num_nodes()));
+  }
+  std::printf(
+      "Legend: b batch, c in-chan/query-chan, h height/heads, w width,\n"
+      "n out-chan, r/s filter dims, l RNN layers, s seq len, d embed/model\n"
+      "dim, e hidden dim, v vocabulary, k kv channels.\n");
+  return 0;
+}

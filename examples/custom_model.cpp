@@ -1,0 +1,91 @@
+// Extending PaSE to a model the library does not ship: a two-tower
+// retrieval/recommendation network. Shows the full public API surface —
+// custom nodes with hand-written cost payloads, edge dim maps across
+// branches, strategy search, validation and simulation.
+//
+//   ./custom_model [num_devices]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dp_solver.h"
+#include "core/strategy.h"
+#include "ops/ops.h"
+#include "search/baselines.h"
+#include "sim/simulator.h"
+
+using namespace pase;
+
+namespace {
+
+/// A dot-product interaction layer joining the two towers: iteration space
+/// (b, d) contracting over the embedding dim. Built by hand to show that
+/// custom operators only need an iteration space plus the cost payload.
+Node interaction(const std::string& name, i64 b, i64 d) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kElementwise;
+  node.space = IterSpace({{"b", b, true}, {"d", d, true}});
+  node.flops_per_point = 2.0;  // multiply + add into the running dot
+  node.reduction_dims = {1};   // contraction over d
+  node.output = OutputSpec{b, {0}};
+  return node;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const i64 p = argc > 1 ? std::atoll(argv[1]) : 16;
+  const i64 batch = 256, d = 256;
+
+  Graph g;
+  // User tower: huge sparse id embedding -> MLP.
+  const NodeId user_emb =
+      g.add_node(ops::embedding("UserEmbed", batch, 1, d, 2000000));
+  const NodeId user_fc =
+      g.add_node(ops::fully_connected("UserFC", batch, d, d));
+  // Item tower: smaller vocabulary, deeper MLP.
+  const NodeId item_emb =
+      g.add_node(ops::embedding("ItemEmbed", batch, 1, d, 100000));
+  const NodeId item_fc1 =
+      g.add_node(ops::fully_connected("ItemFC1", batch, 2 * d, d));
+  const NodeId item_fc2 =
+      g.add_node(ops::fully_connected("ItemFC2", batch, d, 2 * d));
+  // Join + score.
+  const NodeId join = g.add_node(interaction("DotProduct", batch, d));
+  const NodeId score = g.add_node(ops::softmax("Score", batch, 2));
+
+  // Embedding outputs [b, s=1, d] feed the towers' FC inputs.
+  g.add_edge_named(user_emb, user_fc, {"b", "d"}, {"b", "c"});
+  g.add_edge_named(item_emb, item_fc1, {"b", "d"}, {"b", "c"});
+  g.add_edge_named(item_fc1, item_fc2, {"b", "n"}, {"b", "c"});
+  // Tower outputs meet at the interaction layer.
+  g.add_edge_named(user_fc, join, {"b", "n"}, {"b", "d"});
+  g.add_edge_named(item_fc2, join, {"b", "n"}, {"b", "d"});
+  g.add_edge_named(join, score, {"b"}, {"b"});
+  g.validate();
+
+  const MachineSpec machine = MachineSpec::gtx1080ti(p);
+  DpOptions options;
+  options.config_options.max_devices = p;
+  options.cost_params = CostParams::for_machine(machine);
+  const DpResult r = find_best_strategy(g, options);
+  if (r.status != DpStatus::kOk) {
+    std::fprintf(stderr, "solver ran out of memory\n");
+    return 1;
+  }
+  PASE_CHECK(strategy_valid(g, r.strategy, options.config_options));
+
+  std::printf("%s\n",
+              strategy_table("Two-tower retrieval model", g, r.strategy)
+                  .c_str());
+  const Simulator sim(g, machine);
+  std::printf(
+      "Simulated speedup over data parallelism on %lld GPUs: %.2fx\n",
+      static_cast<long long>(p),
+      sim.speedup(r.strategy, data_parallel_strategy(g, p)));
+  std::printf(
+      "(The 2M-row user-id table forces the table dims apart from the\n"
+      "batch dim — exactly the kind of layer-specific choice hybrid\n"
+      "parallelism exists for.)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a computation graph with the operator library, run
+// FindBestStrategy, and compare the result against data parallelism.
+//
+//   ./quickstart [num_devices]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dp_solver.h"
+#include "core/strategy.h"
+#include "models/models.h"
+#include "ops/ops.h"
+#include "search/baselines.h"
+#include "sim/simulator.h"
+
+using namespace pase;
+
+int main(int argc, char** argv) {
+  const i64 p = argc > 1 ? std::atoll(argv[1]) : 8;
+
+  // 1. Describe the machine: p GPUs, 8 per node, PCIe + InfiniBand.
+  const MachineSpec machine = MachineSpec::gtx1080ti(p);
+
+  // 2. Build a DNN computation graph. Here: a small MLP classifier.
+  //    Each node is a layer; each edge carries a tensor with explicit
+  //    dim maps (the model zoo in src/models shows larger examples).
+  Graph graph;
+  const NodeId fc1 = graph.add_node(ops::fully_connected("FC1", 64, 4096, 1024));
+  const NodeId fc2 = graph.add_node(ops::fully_connected("FC2", 64, 4096, 4096));
+  const NodeId fc3 = graph.add_node(ops::fully_connected("FC3", 64, 1000, 4096));
+  const NodeId sm = graph.add_node(ops::softmax("Softmax", 64, 1000));
+  graph.add_edge_named(fc1, fc2, {"b", "n"}, {"b", "c"});
+  graph.add_edge_named(fc2, fc3, {"b", "n"}, {"b", "c"});
+  graph.add_edge_named(fc3, sm, {"b", "n"}, {"b", "n"});
+  graph.validate();
+
+  // 3. Search for the best hybrid parallelization strategy.
+  DpOptions options;
+  options.config_options.max_devices = p;
+  options.cost_params = CostParams::for_machine(machine);
+  const DpResult result = find_best_strategy(graph, options);
+  if (result.status != DpStatus::kOk) {
+    std::fprintf(stderr, "solver ran out of memory\n");
+    return 1;
+  }
+
+  // 4. Inspect the result.
+  std::printf("Best strategy for p = %lld devices:\n\n%s\n",
+              static_cast<long long>(p),
+              strategy_table("MLP", graph, result.strategy).c_str());
+
+  const Simulator sim(graph, machine);
+  const Strategy dp = data_parallel_strategy(graph, p);
+  std::printf("Analytical cost:   %.3e FLOP-equivalents\n", result.best_cost);
+  std::printf("Search time:       %.1f ms (K = %lld, M = %lld)\n",
+              result.elapsed_seconds * 1e3,
+              static_cast<long long>(result.max_configs),
+              static_cast<long long>(result.max_dependent_set));
+  std::printf("Simulated speedup over data parallelism: %.2fx\n",
+              sim.speedup(result.strategy, dp));
+  return 0;
+}

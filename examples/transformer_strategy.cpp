@@ -1,0 +1,90 @@
+// Compare parallelization strategies for the Transformer NMT model across
+// machine profiles: data parallelism, the Mesh-TensorFlow expert hybrid,
+// a FlexFlow-like MCMC search, and PaSE.
+//
+//   ./transformer_strategy [num_devices]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dp_solver.h"
+#include "models/models.h"
+#include "search/baselines.h"
+#include "search/mcmc.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace pase;
+
+int main(int argc, char** argv) {
+  const i64 p = argc > 1 ? std::atoll(argv[1]) : 32;
+  const Graph graph = models::transformer();
+
+  TextTable table("Transformer (WMT EN->DE shapes), simulated step time");
+  table.set_header({"Strategy", "1080Ti step (ms)", "1080Ti speedup",
+                    "2080Ti step (ms)", "2080Ti speedup"});
+
+  const MachineSpec machines[] = {MachineSpec::gtx1080ti(p),
+                                  MachineSpec::rtx2080ti(p)};
+
+  // Collect the candidate strategies per machine (PaSE and the MCMC are
+  // machine-aware through r = F/B; DP and the expert are not).
+  struct Candidate {
+    std::string name;
+    Strategy phi[2];
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {"Data parallel",
+       {data_parallel_strategy(graph, p), data_parallel_strategy(graph, p)}});
+  candidates.push_back({"Mesh-TF expert",
+                        {transformer_expert_strategy(graph, p),
+                         transformer_expert_strategy(graph, p)}});
+
+  Candidate mcmc{"FlexFlow-like MCMC", {}};
+  Candidate pase{"PaSE (ours)", {}};
+  for (int mi = 0; mi < 2; ++mi) {
+    DpOptions options;
+    options.config_options.max_devices = p;
+    options.cost_params = CostParams::for_machine(machines[mi]);
+    McmcOptions mo;
+    mo.max_iterations = 25000;
+    mo.min_iterations = 2500;
+    mo.full_evaluation = false;
+    mcmc.phi[mi] = mcmc_search(graph, options.config_options,
+                               options.cost_params,
+                               transformer_expert_strategy(graph, p), mo)
+                       .best_strategy;
+    const DpResult r = find_best_strategy(graph, options);
+    if (r.status != DpStatus::kOk) {
+      std::fprintf(stderr, "solver ran out of memory\n");
+      return 1;
+    }
+    pase.phi[mi] = r.strategy;
+  }
+  candidates.push_back(mcmc);
+  candidates.push_back(pase);
+
+  const Simulator sims[2] = {Simulator(graph, machines[0]),
+                             Simulator(graph, machines[1])};
+  const double dp_ms[2] = {
+      sims[0].simulate(candidates[0].phi[0]).step_time_s * 1e3,
+      sims[1].simulate(candidates[0].phi[1]).step_time_s * 1e3};
+
+  char buf[32];
+  for (const Candidate& c : candidates) {
+    std::vector<std::string> row = {c.name};
+    for (int mi = 0; mi < 2; ++mi) {
+      const double ms = sims[mi].simulate(c.phi[mi]).step_time_s * 1e3;
+      std::snprintf(buf, sizeof(buf), "%.1f", ms);
+      row.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2fx", dp_ms[mi] / ms);
+      row.push_back(buf);
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\nNote how the no-peer-to-peer 2080Ti profile amplifies the gap\n"
+      "between strategies (paper Fig. 6b measured up to 4x there).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "config/config_enum.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace pase {
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (i64 i = 0; i < rank(); ++i) {
+    if (i) os << ", ";
+    os << (*this)[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+namespace {
+
+void enumerate_rec(const IterSpace& space, const ConfigOptions& opts, i64 dim,
+                   i64 degree_so_far, Config& cur, std::vector<Config>& out) {
+  if (dim == space.rank()) {
+    if (!opts.require_full_use || degree_so_far == opts.max_devices)
+      out.push_back(cur);
+    return;
+  }
+  const IterDim& d = space.dim(dim);
+  const i64 budget = opts.max_devices / degree_so_far;
+  i64 max_factor = d.splittable ? budget : 1;
+  if (opts.cap_by_extent) max_factor = std::min(max_factor, d.size);
+  for (i64 f = 1; f <= max_factor;
+       f = opts.powers_of_two_only ? f * 2 : f + 1) {
+    cur.set(dim, static_cast<u16>(f));
+    enumerate_rec(space, opts, dim + 1, degree_so_far * f, cur, out);
+  }
+  cur.set(dim, 1);
+}
+
+}  // namespace
+
+std::vector<Config> enumerate_configs(const IterSpace& space,
+                                      const ConfigOptions& opts) {
+  PASE_CHECK(opts.max_devices >= 1);
+  std::vector<Config> out;
+  Config cur = Config::ones(space.rank());
+  enumerate_rec(space, opts, 0, 1, cur, out);
+  PASE_CHECK_MSG(!out.empty(), "configuration set must not be empty");
+  return out;
+}
+
+std::vector<Config> enumerate_node_configs(const Node& node,
+                                           const ConfigOptions& opts) {
+  std::vector<Config> out = enumerate_configs(node.space, opts);
+  if (opts.filter) {
+    std::erase_if(out,
+                  [&](const Config& c) { return !opts.filter(node, c); });
+  }
+  return out;
+}
+
+ConfigCache::ConfigCache(const Graph& graph, const ConfigOptions& opts) {
+  lists_.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (const Node& n : graph.nodes())
+    lists_.push_back(enumerate_node_configs(n, opts));
+}
+
+i64 ConfigCache::max_configs() const {
+  i64 k = 0;
+  for (const auto& l : lists_) k = std::max(k, static_cast<i64>(l.size()));
+  return k;
+}
+
+}  // namespace pase

@@ -1,0 +1,70 @@
+// Enumeration of the valid configuration set C(v) for a node (paper §II):
+// all d-tuples with product <= p, restricted here to power-of-two factors and
+// to dims the operator marks splittable (filter dims are never split — the
+// same restriction the paper's prototype applies, which matches the paper's
+// reported |C(v)| of ~10-30 at p=8 and ~100 at p=64 for InceptionV3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "config/config.h"
+#include "graph/node.h"
+#include "util/types.h"
+
+namespace pase {
+
+struct ConfigOptions {
+  i64 max_devices = 1;  ///< p
+
+  /// Restrict split factors to powers of two (real clusters come in powers
+  /// of two and it keeps K near the paper's reported sizes).
+  bool powers_of_two_only = true;
+
+  /// Require the full machine to be used (product == p) rather than <= p.
+  /// The paper uses <= p; full-use is provided for ablation.
+  bool require_full_use = false;
+
+  /// Never split a dim more ways than its extent.
+  bool cap_by_extent = true;
+
+  /// Optional per-configuration admission predicate, applied after the
+  /// structural rules. Used e.g. for per-device memory caps (paper §I:
+  /// large models cannot replicate their parameters, so data-parallel
+  /// configurations must be excluded outright); see
+  /// memory_config_filter() in sim/memory.h.
+  std::function<bool(const Node&, const Config&)> filter;
+};
+
+/// Enumerates C(v) for the given iteration space. Factors for non-splittable
+/// dims are fixed to 1. The serial configuration (all ones) is always first
+/// (unless require_full_use excludes it), making tie-breaking deterministic.
+/// The per-node `filter` is not applied here (there is no node).
+std::vector<Config> enumerate_configs(const IterSpace& space,
+                                      const ConfigOptions& opts);
+
+/// Per-node variant: additionally applies `opts.filter`. May return an
+/// empty list when the filter rejects every configuration (the solver then
+/// reports the problem infeasible).
+std::vector<Config> enumerate_node_configs(const Node& node,
+                                           const ConfigOptions& opts);
+
+/// Per-node configuration lists for a whole graph, indexed by NodeId.
+class ConfigCache {
+ public:
+  ConfigCache() = default;
+  ConfigCache(const class Graph& graph, const ConfigOptions& opts);
+
+  const std::vector<Config>& at(NodeId id) const {
+    return lists_[static_cast<size_t>(id)];
+  }
+  i64 num_nodes() const { return static_cast<i64>(lists_.size()); }
+
+  /// K = max_v |C(v)| (paper's complexity parameter).
+  i64 max_configs() const;
+
+ private:
+  std::vector<std::vector<Config>> lists_;
+};
+
+}  // namespace pase

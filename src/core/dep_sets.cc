@@ -1,0 +1,94 @@
+#include "core/dep_sets.h"
+
+#include <algorithm>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace pase {
+
+namespace {
+
+/// DFS from `start` through vertices with position < `limit_pos` (plus the
+/// start itself); returns visited set.
+Bitset dfs_prefix(const Graph& graph, const Ordering& order, NodeId start,
+                  i64 limit_pos) {
+  Bitset visited(graph.num_nodes());
+  std::vector<NodeId> stack{start};
+  visited.set(start);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : graph.neighbors(v)) {
+      if (!visited.test(w) && order.pos[static_cast<size_t>(w)] < limit_pos) {
+        visited.set(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+VertexSets compute_vertex_sets(const Graph& graph, const Ordering& order,
+                               i64 i) {
+  const NodeId vi = order.seq[static_cast<size_t>(i)];
+  VertexSets out;
+
+  // X(i): reachable from v^(i) through vertices at positions <= i.
+  const Bitset x = dfs_prefix(graph, order, vi, i + 1);
+  x.for_each([&](i64 v) { out.connected.push_back(static_cast<NodeId>(v)); });
+
+  // D(i) = N(X(i)) n V_>i.
+  Bitset dep(graph.num_nodes());
+  x.for_each([&](i64 v) {
+    for (NodeId w : graph.neighbors(static_cast<NodeId>(v)))
+      if (order.pos[static_cast<size_t>(w)] > i) dep.set(w);
+  });
+  dep.for_each(
+      [&](i64 v) { out.dependent.push_back(static_cast<NodeId>(v)); });
+
+  // S(i): components of X(i) - {v^(i)} within the induced prefix subgraph,
+  // identified by their max-position anchor.
+  Bitset remaining = x;
+  remaining.reset(vi);
+  while (remaining.any()) {
+    NodeId seed = kInvalidNode;
+    remaining.for_each([&](i64 v) {
+      if (seed == kInvalidNode) seed = static_cast<NodeId>(v);
+    });
+    // Component of `seed` within positions < i.
+    Bitset comp = dfs_prefix(graph, order, seed, i);
+    comp &= remaining;  // restrict to X(i) - {v^(i)}
+    i64 anchor = -1;
+    comp.for_each([&](i64 v) {
+      anchor = std::max(anchor, order.pos[static_cast<size_t>(v)]);
+    });
+    PASE_CHECK(anchor >= 0 && anchor < i);
+    out.subset_anchors.push_back(anchor);
+    remaining -= comp;
+  }
+  std::sort(out.subset_anchors.begin(), out.subset_anchors.end());
+  return out;
+}
+
+std::vector<VertexSets> compute_all_vertex_sets(const Graph& graph,
+                                                const Ordering& order) {
+  std::vector<VertexSets> out;
+  out.reserve(order.seq.size());
+  for (i64 i = 0; i < static_cast<i64>(order.seq.size()); ++i)
+    out.push_back(compute_vertex_sets(graph, order, i));
+  return out;
+}
+
+i64 max_dependent_set_size(const Graph& graph, const Ordering& order) {
+  i64 m = 0;
+  for (i64 i = 0; i < static_cast<i64>(order.seq.size()); ++i) {
+    const VertexSets s = compute_vertex_sets(graph, order, i);
+    m = std::max(m, static_cast<i64>(s.dependent.size()));
+  }
+  return m;
+}
+
+}  // namespace pase

@@ -1,0 +1,40 @@
+// Connected sets X(i), dependent sets D(i) and connected subsets S(i) of
+// paper §III-B, computed directly from their definitions by DFS over the
+// induced prefix subgraphs (matching Fig. 4 lines 6-7). These are used by
+// the DP solver for any ordering, and serve as the reference implementation
+// against which GenerateSeq's incrementally-maintained v.d sets are verified
+// (Theorem 2).
+#pragma once
+
+#include <vector>
+
+#include "core/ordering.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace pase {
+
+/// Per-position vertex sets for position i (0-based) of an ordering.
+struct VertexSets {
+  /// X(i): vertices of V_<=i connected to v^(i) through V_<=i (incl. v^(i)).
+  std::vector<NodeId> connected;
+  /// D(i) = N(X(i)) n V_>i, sorted by node id.
+  std::vector<NodeId> dependent;
+  /// Anchors of S(i): for each connected component of X(i) - {v^(i)}, the
+  /// position j of its maximum-position vertex (Fig. 4 line 14). The
+  /// component equals X(j).
+  std::vector<i64> subset_anchors;
+};
+
+/// Computes X(i), D(i), S(i) for position i of `order`.
+VertexSets compute_vertex_sets(const Graph& graph, const Ordering& order,
+                               i64 i);
+
+/// All positions at once.
+std::vector<VertexSets> compute_all_vertex_sets(const Graph& graph,
+                                                const Ordering& order);
+
+/// M = max_i |D(i)| for this ordering — the exponent of the DP complexity.
+i64 max_dependent_set_size(const Graph& graph, const Ordering& order);
+
+}  // namespace pase

@@ -1,0 +1,235 @@
+#include "core/dp_solver.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/dep_sets.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace pase {
+
+namespace {
+
+/// DP table entry: minimum cost R(i, phi) and the arg-min configuration of
+/// v^(i) for back-substitution.
+struct Entry {
+  double cost = 0.0;
+  u32 cfg = 0;
+};
+
+using Key = std::vector<u32>;
+using Table = std::unordered_map<Key, Entry, VectorHash<u32>>;
+
+/// Per-position DP state kept alive for anchor lookups and extraction.
+struct PositionState {
+  std::vector<NodeId> dependent;      ///< D(i), sorted by node id
+  std::vector<i64> anchors;           ///< S(i) anchor positions
+  Table table;
+};
+
+/// Builds the key for `nodes` from the current per-node config choices.
+Key make_key(const std::vector<u32>& cur_idx,
+             const std::vector<NodeId>& nodes) {
+  Key key;
+  key.reserve(nodes.size());
+  for (NodeId v : nodes) key.push_back(cur_idx[static_cast<size_t>(v)]);
+  return key;
+}
+
+/// Recursive back-substitution: assigns v^(i)'s best configuration under the
+/// current dependent-set choices, then descends into the connected subsets.
+void extract(const std::vector<PositionState>& states,
+             const Ordering& order, const ConfigCache& configs,
+             i64 pos, std::vector<u32>& cur_idx, Strategy& out) {
+  const PositionState& st = states[static_cast<size_t>(pos)];
+  const auto it = st.table.find(make_key(cur_idx, st.dependent));
+  PASE_CHECK_MSG(it != st.table.end(), "missing DP entry during extraction");
+  const NodeId vi = order.seq[static_cast<size_t>(pos)];
+  cur_idx[static_cast<size_t>(vi)] = it->second.cfg;
+  out[static_cast<size_t>(vi)] = configs.at(vi)[it->second.cfg];
+  for (i64 j : st.anchors) extract(states, order, configs, j, cur_idx, out);
+}
+
+}  // namespace
+
+DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
+  WallTimer timer;
+  DpResult result;
+
+  const Ordering order = make_ordering(graph, options.ordering);
+  const ConfigCache configs(graph, options.config_options);
+  const CostModel cost(graph, options.cost_params);
+  const i64 n = graph.num_nodes();
+
+  result.max_configs = configs.max_configs();
+  for (NodeId v = 0; v < n; ++v) {
+    if (configs.at(v).empty()) {
+      result.status = DpStatus::kInfeasible;
+      result.elapsed_seconds = timer.elapsed_seconds();
+      return result;
+    }
+  }
+
+  std::vector<PositionState> states(static_cast<size_t>(n));
+  std::vector<u32> cur_idx(static_cast<size_t>(n), 0);
+
+  for (i64 i = 0; i < n; ++i) {
+    const NodeId vi = order.seq[static_cast<size_t>(i)];
+    const auto& vi_configs = configs.at(vi);
+    PositionState& st = states[static_cast<size_t>(i)];
+
+    const VertexSets sets = compute_vertex_sets(graph, order, i);
+    st.dependent = sets.dependent;
+    st.anchors = sets.subset_anchors;
+    result.dependent_set_sizes.push_back(
+        static_cast<i64>(st.dependent.size()));
+    result.max_dependent_set = std::max(
+        result.max_dependent_set, static_cast<i64>(st.dependent.size()));
+
+    // Guard against combinatorial blow-up (paper Table I "OOM" outcome).
+    double combos = 1.0;
+    for (NodeId d : st.dependent)
+      combos *= static_cast<double>(configs.at(d).size());
+    const double work = combos * static_cast<double>(vi_configs.size());
+    if (combos > static_cast<double>(options.max_table_entries) ||
+        work > static_cast<double>(options.max_combinations)) {
+      result.status = DpStatus::kOutOfMemory;
+      result.elapsed_seconds = timer.elapsed_seconds();
+      return result;
+    }
+    result.max_combinations_analyzed = std::max(
+        result.max_combinations_analyzed, static_cast<u64>(work));
+
+    // Precompute t_l(v^(i), C) for every C in C(v^(i)).
+    std::vector<double> node_costs(vi_configs.size());
+    for (size_t c = 0; c < vi_configs.size(); ++c)
+      node_costs[c] = cost.node_cost(vi, vi_configs[c]);
+
+    // Later edges of v^(i) (the H function's transfer terms) with their full
+    // |C(v^(i))| x |C(w)| cost matrices; every later neighbor w is in D(i).
+    struct LaterEdge {
+      NodeId other;
+      std::vector<double> cost_matrix;  ///< [ci * |C(w)| + cw]
+    };
+    std::vector<LaterEdge> later_edges;
+    for (EdgeId eid : graph.incident_edges(vi)) {
+      const Edge& e = graph.edge(eid);
+      const NodeId w = e.src == vi ? e.dst : e.src;
+      if (order.pos[static_cast<size_t>(w)] <= i) continue;
+      PASE_CHECK(std::binary_search(st.dependent.begin(), st.dependent.end(),
+                                    w));
+      LaterEdge le;
+      le.other = w;
+      const auto& w_configs = configs.at(w);
+      le.cost_matrix.resize(vi_configs.size() * w_configs.size());
+      for (size_t ci = 0; ci < vi_configs.size(); ++ci)
+        for (size_t cw = 0; cw < w_configs.size(); ++cw) {
+          const Config& src = e.src == vi ? vi_configs[ci] : w_configs[cw];
+          const Config& dst = e.src == vi ? w_configs[cw] : vi_configs[ci];
+          le.cost_matrix[ci * w_configs.size() + cw] =
+              cost.edge_cost(e, src, dst);
+        }
+      later_edges.push_back(std::move(le));
+    }
+
+    // Anchors whose D(j) contains v^(i) must be re-looked-up per C; the rest
+    // depend only on phi and are hoisted out of the configuration loop.
+    std::vector<i64> anchors_outer, anchors_inner;
+    for (i64 j : st.anchors) {
+      const auto& dj = states[static_cast<size_t>(j)].dependent;
+      const bool contains_vi =
+          std::binary_search(dj.begin(), dj.end(), vi);
+      (contains_vi ? anchors_inner : anchors_outer).push_back(j);
+      // Theory: D(j) is a subset of D(i) U {v^(i)} for X(j) in S(i).
+      for (NodeId d : dj)
+        PASE_CHECK(d == vi || std::binary_search(st.dependent.begin(),
+                                                 st.dependent.end(), d));
+    }
+
+    st.table.reserve(static_cast<size_t>(combos));
+
+    // Odometer enumeration of all substrategies phi of D(i).
+    std::vector<u32> odo(st.dependent.size(), 0);
+    for (;;) {
+      for (size_t k = 0; k < st.dependent.size(); ++k)
+        cur_idx[static_cast<size_t>(st.dependent[k])] = odo[k];
+
+      double base = 0.0;
+      for (i64 j : anchors_outer) {
+        const PositionState& sj = states[static_cast<size_t>(j)];
+        const auto it = sj.table.find(make_key(cur_idx, sj.dependent));
+        PASE_CHECK_MSG(it != sj.table.end(), "missing anchor DP entry");
+        base += it->second.cost;
+      }
+
+      Entry best{std::numeric_limits<double>::infinity(), 0};
+      for (size_t ci = 0; ci < vi_configs.size(); ++ci) {
+        double c = base + node_costs[ci];
+        for (const LaterEdge& le : later_edges)
+          c += le.cost_matrix[ci * configs.at(le.other).size() +
+                              cur_idx[static_cast<size_t>(le.other)]];
+        if (!anchors_inner.empty()) {
+          cur_idx[static_cast<size_t>(vi)] = static_cast<u32>(ci);
+          for (i64 j : anchors_inner) {
+            const PositionState& sj = states[static_cast<size_t>(j)];
+            const auto it = sj.table.find(make_key(cur_idx, sj.dependent));
+            PASE_CHECK_MSG(it != sj.table.end(), "missing anchor DP entry");
+            c += it->second.cost;
+          }
+        }
+        if (c < best.cost) best = Entry{c, static_cast<u32>(ci)};
+      }
+      st.table.emplace(make_key(cur_idx, st.dependent), best);
+
+      // Advance the odometer.
+      size_t k = 0;
+      for (; k < odo.size(); ++k) {
+        if (++odo[k] <
+            static_cast<u32>(configs.at(st.dependent[k]).size()))
+          break;
+        odo[k] = 0;
+      }
+      if (k == odo.size()) break;
+    }
+  }
+
+  // For a weakly connected graph the last vertex covers everything:
+  // R(|V|, {}) is the optimum. For a disconnected graph (pipeline-stage
+  // subgraphs), each weakly connected component is covered by its own
+  // maximum-position vertex, whose dependent set is empty; costs add and
+  // back-substitution runs per component root.
+  std::vector<i64> roots;
+  {
+    Bitset covered(n);
+    for (i64 i = n - 1; i >= 0; --i) {
+      const NodeId vi = order.seq[static_cast<size_t>(i)];
+      if (covered.test(vi)) continue;
+      roots.push_back(i);
+      for (NodeId v : compute_vertex_sets(graph, order, i).connected)
+        covered.set(v);
+    }
+  }
+
+  result.best_cost = 0.0;
+  result.strategy.assign(static_cast<size_t>(n), Config{});
+  std::fill(cur_idx.begin(), cur_idx.end(), 0);
+  for (i64 root : roots) {
+    const PositionState& st = states[static_cast<size_t>(root)];
+    PASE_CHECK(st.dependent.empty());
+    const auto it = st.table.find(Key{});
+    PASE_CHECK(it != st.table.end());
+    result.best_cost += it->second.cost;
+    // Back-substitution (paper: "a simple back-substitution, starting from
+    // v^(|V|).cfg, provides the best strategy").
+    extract(states, order, configs, root, cur_idx, result.strategy);
+  }
+  for (const Config& c : result.strategy)
+    PASE_CHECK_MSG(c.rank() > 0, "extraction must assign every node");
+
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace pase

@@ -1,0 +1,64 @@
+// FindBestStrategy (paper Fig. 4): dynamic programming over recurrence (4).
+//
+// For each vertex v^(i) in the sequence, the solver enumerates every valid
+// substrategy phi of the dependent set D(i); for each it finds the
+// configuration C of v^(i) minimizing
+//
+//   H(i, phi U {(v^(i),C)}) + sum_{X(j) in S(i)} R(j, phi''),
+//
+// where H is the layer cost of v^(i) plus its transfer costs to later
+// neighbors, and the R(j, .) values are read from the DP tables of the
+// connected-subset anchors. Tables are hash maps keyed by the configuration
+// choices of the dependent-set nodes. A table/work guard reports the same
+// out-of-memory outcome the paper observes for breadth-first ordering on
+// InceptionV3 and Transformer (Table I) without actually exhausting RAM.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "config/config_enum.h"
+#include "core/ordering.h"
+#include "cost/cost_model.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace pase {
+
+struct DpOptions {
+  ConfigOptions config_options;
+  CostParams cost_params;
+  OrderingKind ordering = OrderingKind::kGenerateSeq;
+
+  /// OOM guard: maximum substrategy-table entries for a single vertex.
+  u64 max_table_entries = u64{1} << 23;
+  /// Work guard: maximum (substrategies x configurations) combinations
+  /// analyzed for a single vertex.
+  u64 max_combinations = u64{2} << 30;
+};
+
+enum class DpStatus {
+  kOk,
+  kOutOfMemory,  ///< a guard tripped; no strategy produced
+  kInfeasible,   ///< a node has no admissible configuration (e.g. every
+                 ///< choice violates the per-device memory cap)
+};
+
+struct DpResult {
+  DpStatus status = DpStatus::kOk;
+  double best_cost = std::numeric_limits<double>::infinity();
+  Strategy strategy;  ///< configuration per node, indexed by NodeId
+
+  // Diagnostics (paper §III-C / Table I discussion).
+  i64 max_dependent_set = 0;          ///< M for the ordering used
+  u64 max_combinations_analyzed = 0;  ///< max_i |Phi(D(i))| * |C(v^(i))|
+  i64 max_configs = 0;                ///< K
+  double elapsed_seconds = 0.0;
+  std::vector<i64> dependent_set_sizes;  ///< |D(i)| per position
+};
+
+/// Runs FindBestStrategy on `graph`. Deterministic: ties are broken by
+/// configuration enumeration order.
+DpResult find_best_strategy(const Graph& graph, const DpOptions& options);
+
+}  // namespace pase

@@ -1,0 +1,106 @@
+#include "core/ordering.h"
+
+#include <queue>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace pase {
+
+Ordering generate_seq(const Graph& graph) {
+  const i64 n = graph.num_nodes();
+  Ordering out;
+  out.seq.reserve(static_cast<size_t>(n));
+  out.pos.assign(static_cast<size_t>(n), -1);
+  out.dep_sets.resize(static_cast<size_t>(n));
+
+  // v.d <- N(v)  (Fig. 3 line 1)
+  std::vector<Bitset> d(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v)
+    d[static_cast<size_t>(v)] = graph.neighbor_set(v);
+
+  Bitset unsequenced(n);
+  for (NodeId v = 0; v < n; ++v) unsequenced.set(v);
+
+  for (i64 i = 0; i < n; ++i) {
+    // Pick the unsequenced node with minimum |v.d| (line 5). While a node
+    // is unsequenced its v.d may contain the node itself (the invariant
+    // D(j)|i of Theorem 2's proof intersects with V_>i, which still holds
+    // v^(j)); the node's own entry disappears from its dependent set the
+    // moment it is sequenced, so it is excluded from the cardinality.
+    NodeId best = kInvalidNode;
+    i64 best_size = 0;
+    unsequenced.for_each([&](i64 u) {
+      const auto& du = d[static_cast<size_t>(u)];
+      const i64 size = du.count() - (du.test(u) ? 1 : 0);
+      if (best == kInvalidNode || size < best_size) {
+        best = static_cast<NodeId>(u);
+        best_size = size;
+      }
+    });
+    PASE_CHECK(best != kInvalidNode);
+
+    out.seq.push_back(best);
+    out.pos[static_cast<size_t>(best)] = i;
+    unsequenced.reset(best);
+    d[static_cast<size_t>(best)].reset(best);  // D(i) = v.d - {v^(i)}
+
+    // Record v^(i).d before propagating (it equals D(i), Theorem 2).
+    out.dep_sets[static_cast<size_t>(i)] =
+        [&] {
+          std::vector<NodeId> ids;
+          d[static_cast<size_t>(best)].for_each(
+              [&](i64 v) { ids.push_back(static_cast<NodeId>(v)); });
+          return ids;
+        }();
+
+    // For all v in v^(i).d: v.d <- v.d U v^(i).d - {v^(i)}  (lines 7-9).
+    const Bitset merged = d[static_cast<size_t>(best)];
+    merged.for_each([&](i64 v) {
+      auto& dv = d[static_cast<size_t>(v)];
+      dv |= merged;
+      dv.reset(best);
+    });
+  }
+  return out;
+}
+
+Ordering breadth_first(const Graph& graph) {
+  const i64 n = graph.num_nodes();
+  Ordering out;
+  out.seq.reserve(static_cast<size_t>(n));
+  out.pos.assign(static_cast<size_t>(n), -1);
+
+  Bitset seen(n);
+  std::queue<NodeId> q;
+  auto push = [&](NodeId v) {
+    if (!seen.test(v)) {
+      seen.set(v);
+      q.push(v);
+    }
+  };
+  for (NodeId start = 0; start < n; ++start) {
+    // The graph is expected to be connected; the loop keeps the ordering
+    // total even if it is not.
+    push(start);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      out.pos[static_cast<size_t>(v)] = static_cast<i64>(out.seq.size());
+      out.seq.push_back(v);
+      for (NodeId w : graph.neighbors(v)) push(w);
+    }
+  }
+  return out;
+}
+
+Ordering make_ordering(const Graph& graph, OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kGenerateSeq: return generate_seq(graph);
+    case OrderingKind::kBreadthFirst: return breadth_first(graph);
+  }
+  PASE_CHECK(false);
+  return {};
+}
+
+}  // namespace pase

@@ -1,0 +1,27 @@
+// Strategy helpers: validation against the configuration-space rules and
+// Table II-style pretty printing.
+#pragma once
+
+#include <string>
+
+#include "config/config_enum.h"
+#include "graph/graph.h"
+
+namespace pase {
+
+/// True iff `phi` assigns every node a configuration that is valid under
+/// `opts` (rank matches the iteration space, power-of-two/extent/splittable
+/// rules respected, degree <= p).
+bool strategy_valid(const Graph& graph, const Strategy& phi,
+                    const ConfigOptions& opts);
+
+/// One line per node: "name  dims  (c1, ..., cd)".
+std::string strategy_to_string(const Graph& graph, const Strategy& phi);
+
+/// Table II-style rendering: Layers | Dimensions | Configuration, with
+/// consecutive nodes sharing a configuration & dimension signature collapsed
+/// into one row ("Conv 1-4" style).
+std::string strategy_table(const std::string& title, const Graph& graph,
+                           const Strategy& phi);
+
+}  // namespace pase

@@ -1,0 +1,142 @@
+// The analytical cost model of paper §II, Eq. (1):
+//
+//   F(G, phi) = sum_v t_l(v, phi, r)  +  sum_(u,v) r * t_x(u, v, phi)
+//
+// All costs are expressed in FLOPs; communication volumes are normalized by
+// multiplying with the FLOP-to-byte ratio r = F/B.
+//
+//  * t_l — layer cost: per-device FLOPs plus r x internal communication
+//    (partial-sum all-reduce when reduction dims are split, gradient
+//    all-reduce across each parameter's replication group, halo exchange
+//    for split stencil dims).
+//  * t_x — transfer cost along an edge: the paper's
+//    max_d |A(v,d,phi)| - |A(v,d,phi) n A(u,d,phi)| evaluated in closed form
+//    for uniform block partitions under the greedy aligned placement,
+//    counted in both directions (t_x is edge-direction agnostic).
+#pragma once
+
+#include "config/config.h"
+#include "cost/machine.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace pase {
+
+struct CostParams {
+  double r = 1.0;              ///< FLOP-to-byte ratio F/B
+  double bytes_per_element = 4.0;  ///< fp32 tensors
+  /// Backward-pass FLOPs relative to forward (dL/dx and dL/dW GEMMs).
+  double bwd_flops_multiplier = 2.0;
+  /// Activation/gradient transfers happen in both directions.
+  double fwd_bwd_comm_multiplier = 2.0;
+  /// Weight applied to gradient all-reduce bytes in t_l: frameworks overlap
+  /// the gradient sync with backward compute, so its marginal cost is lower
+  /// than inline communication (the simulator models the overlap exactly;
+  /// the analytical model only needs the relative weighting).
+  double gradient_comm_discount = 0.3;
+
+  static CostParams for_machine(const MachineSpec& m) {
+    CostParams p;
+    // Achieved (not peak) FLOPs per byte keeps compute and communication on
+    // the same wall-clock scale. For heterogeneous clusters the paper's §V
+    // rule applies: price compute at the weakest device.
+    p.r = m.weakest_flops() / m.link_bandwidth * m.compute_efficiency;
+    p.gradient_comm_discount = m.gradient_comm_discount;
+    return p;
+  }
+};
+
+/// Bytes moved per device by a ring all-reduce of `bytes` over `group`
+/// devices: 2 * (g-1)/g * bytes.
+double ring_all_reduce_bytes(double bytes, i64 group);
+
+/// One internal communication a layer performs under a configuration
+/// (partial-sum all-reduce, gradient all-reduce, or halo exchange), as
+/// per-device bytes plus the participating group size — the discrete-event
+/// simulator uses the group to pick intra- vs inter-node bandwidth.
+struct CollectiveComm {
+  enum class Kind { kReduceAllReduce, kGradientAllReduce, kHaloExchange };
+  Kind kind;
+  double bytes = 0.0;        ///< per device, both passes where applicable
+  i64 group = 1;             ///< devices participating
+  double volume_bytes = 0.0; ///< tensor shard being reduced (all-reduces
+                             ///< only; lets the simulator price topology-
+                             ///< aware hierarchical collectives)
+};
+
+/// All internal communications of t_l(v, C).
+std::vector<CollectiveComm> layer_collectives(const Node& node,
+                                              const Config& config,
+                                              const CostParams& params);
+
+/// Layer cost t_l(v, C, r) in FLOPs (computation + r x internal comm).
+double layer_cost(const Node& node, const Config& config,
+                  const CostParams& params);
+
+/// The pure-computation part of t_l (per-device FLOPs, fwd + bwd).
+double layer_flops(const Node& node, const Config& config,
+                   const CostParams& params);
+
+/// Transfer volume t_x for an edge, in bytes (both directions), given the
+/// producer and consumer configurations.
+double transfer_bytes(const Edge& edge, const Config& src_config,
+                      const Config& dst_config, const CostParams& params);
+
+/// Per-strategy cost breakdown of Eq. (1).
+struct CostBreakdown {
+  double layer = 0.0;     ///< sum of t_l, FLOPs
+  double transfer = 0.0;  ///< sum of r * t_x, FLOPs
+  double total() const { return layer + transfer; }
+};
+
+/// Evaluates Eq. (1) for full strategies and supports O(degree) incremental
+/// re-evaluation when one node's configuration changes (used by the MCMC
+/// search and by the DP's H function).
+class CostModel {
+ public:
+  CostModel(const Graph& graph, CostParams params)
+      : graph_(&graph), params_(params) {}
+
+  const Graph& graph() const { return *graph_; }
+  const CostParams& params() const { return params_; }
+
+  double node_cost(NodeId v, const Config& config) const {
+    return layer_cost(graph_->node(v), config, params_);
+  }
+
+  /// r * t_x for edge e, in FLOPs.
+  double edge_cost(const Edge& e, const Config& src_config,
+                   const Config& dst_config) const {
+    return params_.r * transfer_bytes(e, src_config, dst_config, params_);
+  }
+
+  double edge_cost(EdgeId e, const Strategy& phi) const {
+    const Edge& edge = graph_->edge(e);
+    return edge_cost(edge, phi[static_cast<size_t>(edge.src)],
+                     phi[static_cast<size_t>(edge.dst)]);
+  }
+
+  /// Full F(G, phi). `phi` must provide a configuration for every node.
+  CostBreakdown evaluate(const Strategy& phi) const;
+
+  double total_cost(const Strategy& phi) const {
+    return evaluate(phi).total();
+  }
+
+  /// Change in F(G, phi) if node v's configuration is replaced by
+  /// `new_config`; touches only v and its incident edges.
+  double delta_cost(const Strategy& phi, NodeId v,
+                    const Config& new_config) const;
+
+  /// Seconds for one training step under `phi` on machine `m` according to
+  /// the analytical model: F(G, phi) / peak_flops.
+  double step_time_seconds(const Strategy& phi, const MachineSpec& m) const {
+    return total_cost(phi) / m.peak_flops;
+  }
+
+ private:
+  const Graph* graph_;
+  CostParams params_;
+};
+
+}  // namespace pase

@@ -1,0 +1,133 @@
+// Machine description (paper §II): p devices, average peak FLOPS F per
+// device, average link bandwidth B bytes/s; the cost model only needs the
+// FLOP-to-byte ratio r = F/B. The discrete-event simulator (src/sim) uses
+// the richer per-link fields.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace pase {
+
+struct MachineSpec {
+  std::string name;
+  i64 num_devices = 1;          ///< p
+  i64 devices_per_node = 8;     ///< GPUs per host
+  double peak_flops = 1.0;      ///< F, per device
+  double link_bandwidth = 1.0;  ///< B, bytes/s (average, for the cost model)
+
+  /// Simulator-only refinements: intra-node (PCIe) vs inter-node (IB)
+  /// bandwidths and a per-message latency.
+  double intra_node_bandwidth = 0.0;  ///< bytes/s; 0 = use link_bandwidth
+  double inter_node_bandwidth = 0.0;  ///< bytes/s; 0 = use link_bandwidth
+  double link_latency_s = 5e-6;
+
+  /// Achieved fraction of peak FLOPS (typical fp32 DNN utilization); used
+  /// by the simulator for wall-clock compute time. The analytical cost
+  /// model keeps peak F, as the paper does — it only needs relative ranks.
+  double compute_efficiency = 0.35;
+
+  /// Fraction of gradient all-reduce time hidden behind backward-pass
+  /// compute (Mesh-TensorFlow overlaps them; the paper's §IV-B notes all
+  /// such feasible optimizations were enabled in its measurements).
+  double grad_overlap_efficiency = 1.0;
+
+  /// Analytical-model weight for gradient all-reduce bytes (see
+  /// CostParams::gradient_comm_discount). Machines with low balance hide a
+  /// smaller fraction of the gradient sync, so the weight is higher.
+  double gradient_comm_discount = 0.3;
+
+  /// Heterogeneous clusters (paper §V): optional per-device peak FLOPS,
+  /// rank-indexed, size num_devices. Empty = homogeneous at peak_flops.
+  /// Following §V, the analytical cost model prices compute at the weakest
+  /// device ("the primary bottleneck"); the simulator uses the true
+  /// per-device peaks of the ranks a layer runs on.
+  std::vector<double> device_flops;
+
+  double flops_of(i64 rank) const {
+    if (device_flops.empty()) return peak_flops;
+    PASE_CHECK(rank >= 0 && rank < static_cast<i64>(device_flops.size()));
+    return device_flops[static_cast<size_t>(rank)];
+  }
+
+  /// Weakest device overall (the §V rule for the analytical model).
+  double weakest_flops() const {
+    if (device_flops.empty()) return peak_flops;
+    return *std::min_element(device_flops.begin(), device_flops.end());
+  }
+
+  /// Weakest device among ranks [0, degree) — the prefix a layer with that
+  /// parallel degree occupies under the aligned placement.
+  double prefix_weakest_flops(i64 degree) const {
+    if (device_flops.empty()) return peak_flops;
+    const i64 limit = std::min<i64>(degree, num_devices);
+    double w = device_flops[0];
+    for (i64 d = 1; d < limit; ++d) w = std::min(w, flops_of(d));
+    return w;
+  }
+
+  double flop_to_byte_ratio() const {
+    PASE_CHECK(link_bandwidth > 0);
+    return peak_flops / link_bandwidth;
+  }
+
+  double intra_bw() const {
+    return intra_node_bandwidth > 0 ? intra_node_bandwidth : link_bandwidth;
+  }
+  double inter_bw() const {
+    return inter_node_bandwidth > 0 ? inter_node_bandwidth : link_bandwidth;
+  }
+
+  /// GeForce GTX 1080 Ti cluster: 8 GPUs/node, PCIe with peer-to-peer
+  /// access, InfiniBand across nodes (paper §IV-B machine (a)).
+  static MachineSpec gtx1080ti(i64 p) {
+    MachineSpec m;
+    m.name = "1080Ti";
+    m.num_devices = p;
+    m.peak_flops = 11.3e12;          // fp32
+    m.intra_node_bandwidth = 12e9;  // PCIe 3.0 x16 with P2P
+    m.inter_node_bandwidth = 7e9;   // FDR InfiniBand NIC per node
+    // Analytical-model B: the weakest link, as the paper's §V prescribes.
+    m.link_bandwidth = 7e9;
+    // High machine balance: most of the gradient sync hides behind backward
+    // compute.
+    m.gradient_comm_discount = 0.15;
+    return m;
+  }
+
+  /// GeForce RTX 2080 Ti cluster. 2080 Ti does not support PCIe
+  /// peer-to-peer, so transfers stage through host memory: much lower
+  /// effective bandwidth at a higher compute peak => very low machine
+  /// balance, which amplifies strategy inefficiencies (paper §IV-B).
+  static MachineSpec rtx2080ti(i64 p) {
+    MachineSpec m;
+    m.name = "2080Ti";
+    m.num_devices = p;
+    m.peak_flops = 13.4e12;
+    m.intra_node_bandwidth = 3e9;  // staged through the host, no P2P
+    m.inter_node_bandwidth = 3e9;
+    m.link_bandwidth = 3e9;
+    // Low machine balance: gradient sync mostly exceeds what backward
+    // compute can hide.
+    m.gradient_comm_discount = 0.5;
+    return m;
+  }
+
+  /// A heterogeneous cluster: the first half of the ranks are 1080Ti-class
+  /// devices, the second half an older generation at `slow_fraction` of the
+  /// peak. Exercises the paper's §V heterogeneity rule.
+  static MachineSpec mixed_cluster(i64 p, double slow_fraction = 0.6) {
+    MachineSpec m = gtx1080ti(p);
+    m.name = "Mixed";
+    m.device_flops.assign(static_cast<size_t>(p), m.peak_flops);
+    for (i64 d = p / 2; d < p; ++d)
+      m.device_flops[static_cast<size_t>(d)] = m.peak_flops * slow_fraction;
+    return m;
+  }
+};
+
+}  // namespace pase

@@ -1,0 +1,162 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "util/check.h"
+
+namespace pase {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "Input";
+    case OpKind::kConv2D: return "Conv2D";
+    case OpKind::kPool: return "Pool";
+    case OpKind::kFullyConnected: return "FC";
+    case OpKind::kSoftmax: return "Softmax";
+    case OpKind::kEmbedding: return "Embedding";
+    case OpKind::kLSTM: return "LSTM";
+    case OpKind::kAttention: return "Attention";
+    case OpKind::kFeedForward: return "FeedForward";
+    case OpKind::kLayerNorm: return "LayerNorm";
+    case OpKind::kBatchNorm: return "BatchNorm";
+    case OpKind::kConcat: return "Concat";
+    case OpKind::kElementwise: return "Elementwise";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node.id = id;
+  for (i32 d : node.reduction_dims)
+    PASE_CHECK(d >= 0 && d < node.space.rank());
+  for (const auto& p : node.params)
+    for (i32 d : p.dims) PASE_CHECK(d >= 0 && d < node.space.rank());
+  for (i32 d : node.output.dims) PASE_CHECK(d >= 0 && d < node.space.rank());
+  nodes_.push_back(std::move(node));
+  adj_.emplace_back();
+  incident_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst, std::vector<i64> shape,
+                       std::vector<i32> src_dims, std::vector<i32> dst_dims) {
+  PASE_CHECK(src >= 0 && src < num_nodes());
+  PASE_CHECK(dst >= 0 && dst < num_nodes());
+  PASE_CHECK_MSG(src != dst, "self loops are not allowed");
+  PASE_CHECK(shape.size() == src_dims.size());
+  PASE_CHECK(shape.size() == dst_dims.size());
+  for (size_t t = 0; t < shape.size(); ++t) {
+    PASE_CHECK(shape[t] >= 1);
+    PASE_CHECK(src_dims[t] >= -1 && src_dims[t] < node(src).space.rank());
+    PASE_CHECK(dst_dims[t] >= -1 && dst_dims[t] < node(dst).space.rank());
+  }
+
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{id, src, dst, std::move(shape), std::move(src_dims),
+                        std::move(dst_dims)});
+
+  auto link = [&](NodeId a, NodeId b) {
+    auto& nb = adj_[static_cast<size_t>(a)];
+    if (std::find(nb.begin(), nb.end(), b) == nb.end()) nb.push_back(b);
+    incident_[static_cast<size_t>(a)].push_back(id);
+  };
+  link(src, dst);
+  link(dst, src);
+  return id;
+}
+
+EdgeId Graph::add_edge_named(NodeId src, NodeId dst,
+                             const std::vector<std::string>& src_names,
+                             const std::vector<std::string>& dst_names,
+                             std::vector<i64> shape) {
+  PASE_CHECK(src_names.size() == dst_names.size());
+  std::vector<i32> sd, dd;
+  sd.reserve(src_names.size());
+  dd.reserve(dst_names.size());
+  for (const auto& n : src_names)
+    sd.push_back(n.empty() ? -1 : static_cast<i32>(node(src).space.find(n)));
+  for (const auto& n : dst_names)
+    dd.push_back(n.empty() ? -1 : static_cast<i32>(node(dst).space.find(n)));
+  for (size_t t = 0; t < src_names.size(); ++t) {
+    PASE_CHECK_MSG(src_names[t].empty() || sd[t] >= 0,
+                   "unknown src dim name");
+    PASE_CHECK_MSG(dst_names[t].empty() || dd[t] >= 0,
+                   "unknown dst dim name");
+  }
+  if (shape.empty()) {
+    shape.reserve(sd.size());
+    for (size_t t = 0; t < sd.size(); ++t) {
+      PASE_CHECK_MSG(sd[t] >= 0,
+                     "shape required when a src dim is unmapped");
+      shape.push_back(node(src).space.dim(sd[t]).size);
+    }
+  }
+  return add_edge(src, dst, std::move(shape), std::move(sd), std::move(dd));
+}
+
+Bitset Graph::neighbor_set(NodeId id) const {
+  Bitset b(num_nodes());
+  for (NodeId n : neighbors(id)) b.set(n);
+  return b;
+}
+
+bool Graph::weakly_connected() const {
+  if (nodes_.empty()) return true;
+  Bitset seen(num_nodes());
+  std::queue<NodeId> q;
+  q.push(0);
+  seen.set(0);
+  i64 visited = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId n : neighbors(v)) {
+      if (!seen.test(n)) {
+        seen.set(n);
+        ++visited;
+        q.push(n);
+      }
+    }
+  }
+  return visited == num_nodes();
+}
+
+std::vector<NodeId> Graph::topological_order() const {
+  const i64 n = num_nodes();
+  std::vector<i64> indegree(static_cast<size_t>(n), 0);
+  for (const Edge& e : edges_) ++indegree[static_cast<size_t>(e.dst)];
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v)
+    if (indegree[static_cast<size_t>(v)] == 0) frontier.push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end(), std::greater<NodeId>());
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (EdgeId eid : incident_edges(v)) {
+      const Edge& e = edge(eid);
+      if (e.src != v) continue;
+      if (--indegree[static_cast<size_t>(e.dst)] == 0)
+        frontier.push_back(e.dst);
+    }
+  }
+  PASE_CHECK_MSG(static_cast<i64>(order.size()) == n,
+                 "computation graph must be acyclic");
+  return order;
+}
+
+const Graph& Graph::validate() const {
+  PASE_CHECK_MSG(weakly_connected(), "computation graph must be connected");
+  // Note: mapped tensor extents may legitimately differ from the extent of
+  // the iteration dim they map to (concat slices, strided convolutions,
+  // fused dims), so no extent relation is enforced here; add_edge already
+  // validated the dim indices.
+  return *this;
+}
+
+}  // namespace pase

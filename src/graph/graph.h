@@ -1,0 +1,101 @@
+// The DNN computation graph G = (V, E) of paper §II: a weakly connected
+// directed graph whose nodes are layers and whose edges carry tensors.
+//
+// Edges are self-contained for the transfer-cost model t_x: each edge records
+// the tensor shape plus, per tensor dim, which iteration-space dim of the
+// producer and of the consumer it maps to (-1 when unmapped, meaning that
+// side replicates/needs the full extent of the dim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+#include "util/bitset.h"
+#include "util/types.h"
+
+namespace pase {
+
+using EdgeId = i32;
+
+struct Edge {
+  EdgeId id = -1;
+  NodeId src = kInvalidNode;  ///< producer
+  NodeId dst = kInvalidNode;  ///< consumer
+  std::vector<i64> shape;     ///< tensor extents
+  std::vector<i32> src_dims;  ///< tensor dim -> src iteration dim, or -1
+  std::vector<i32> dst_dims;  ///< tensor dim -> dst iteration dim, or -1
+
+  i64 volume() const {
+    i64 v = 1;
+    for (i64 s : shape) v *= s;
+    return v;
+  }
+};
+
+class Graph {
+ public:
+  /// Adds a node and returns its id. The node's `id` field is filled in.
+  NodeId add_node(Node node);
+
+  /// Adds an edge carrying a tensor of `shape` from `src` to `dst`.
+  /// `src_dims[t]` / `dst_dims[t]` name the iteration-space dim of the
+  /// respective node that tensor dim t maps to (-1 = unmapped).
+  EdgeId add_edge(NodeId src, NodeId dst, std::vector<i64> shape,
+                  std::vector<i32> src_dims, std::vector<i32> dst_dims);
+
+  /// Convenience: edge whose dim maps are given by iteration-dim *names*
+  /// looked up in each node's space ("" = unmapped). Shape defaults to the
+  /// producer-side dim extents.
+  EdgeId add_edge_named(NodeId src, NodeId dst,
+                        const std::vector<std::string>& src_names,
+                        const std::vector<std::string>& dst_names,
+                        std::vector<i64> shape = {});
+
+  i64 num_nodes() const { return static_cast<i64>(nodes_.size()); }
+  i64 num_edges() const { return static_cast<i64>(edges_.size()); }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+  const Edge& edge(EdgeId id) const { return edges_[static_cast<size_t>(id)]; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Direction-agnostic neighbors N(v) (paper §III notation), deduplicated.
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adj_[static_cast<size_t>(id)];
+  }
+
+  /// Ids of edges incident to `id` (either direction), deduplicated.
+  const std::vector<EdgeId>& incident_edges(NodeId id) const {
+    return incident_[static_cast<size_t>(id)];
+  }
+
+  /// Undirected degree |N(v)|.
+  i64 degree(NodeId id) const {
+    return static_cast<i64>(adj_[static_cast<size_t>(id)].size());
+  }
+
+  /// Neighbor set as a bitset over node ids.
+  Bitset neighbor_set(NodeId id) const;
+
+  /// True iff the graph is weakly connected (paper requires this).
+  bool weakly_connected() const;
+
+  /// Kahn topological order over the directed edges (smallest id first
+  /// among ready nodes, deterministic). Aborts if the graph has a cycle.
+  std::vector<NodeId> topological_order() const;
+
+  /// Validates internal consistency (edge endpoint/dim-map ranges); aborts
+  /// via PASE_CHECK on violation. Returns *this for chaining.
+  const Graph& validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+}  // namespace pase

@@ -1,0 +1,59 @@
+// Iteration spaces (Wolfe-style, see paper §II): each DNN layer is a node
+// whose computation is captured by a d-dimensional rectangular iteration
+// space. A parallelization configuration splits these dims across devices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace pase {
+
+/// One dimension of a node's iteration space.
+struct IterDim {
+  std::string name;        ///< single-letter label used in the paper, e.g. "b"
+  i64 size = 1;            ///< extent of the dimension
+  bool splittable = true;  ///< false for dims that are never parallelized
+                           ///< (e.g. conv filter dims r, s)
+};
+
+/// A rectangular iteration space: an ordered list of named dimensions.
+class IterSpace {
+ public:
+  IterSpace() = default;
+  explicit IterSpace(std::vector<IterDim> dims) : dims_(std::move(dims)) {
+    for (const auto& d : dims_) PASE_CHECK_MSG(d.size >= 1, d.name.c_str());
+  }
+
+  i64 rank() const { return static_cast<i64>(dims_.size()); }
+  const IterDim& dim(i64 i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<IterDim>& dims() const { return dims_; }
+
+  /// Total number of iteration points.
+  i64 volume() const {
+    i64 v = 1;
+    for (const auto& d : dims_) v *= d.size;
+    return v;
+  }
+
+  /// Index of the dimension with the given name; -1 if absent.
+  i64 find(const std::string& name) const {
+    for (i64 i = 0; i < rank(); ++i)
+      if (dims_[static_cast<size_t>(i)].name == name) return i;
+    return -1;
+  }
+
+  /// Concatenated dim names, e.g. "bchwnrs" (Table II "Dimensions" column).
+  std::string names() const {
+    std::string s;
+    for (const auto& d : dims_) s += d.name;
+    return s;
+  }
+
+ private:
+  std::vector<IterDim> dims_;
+};
+
+}  // namespace pase

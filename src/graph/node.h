@@ -1,0 +1,88 @@
+// Computation-graph nodes. A node is a DNN layer together with everything the
+// analytical cost model needs: its iteration space, FLOP density, parameter
+// tensors (for gradient all-reduce costs), reduction dimensions (for
+// partial-sum all-reduce costs), halo exchanges (for split conv spatial dims)
+// and its primary output tensor (to size internal collectives).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/iter_space.h"
+#include "util/types.h"
+
+namespace pase {
+
+using NodeId = i32;
+constexpr NodeId kInvalidNode = -1;
+
+/// Operator kind; used for pretty printing and by expert strategies, which
+/// pick per-layer-type parallelizations (e.g. OWT: data-parallel convs,
+/// parameter-parallel FC layers).
+enum class OpKind {
+  kInput,
+  kConv2D,
+  kPool,
+  kFullyConnected,
+  kSoftmax,
+  kEmbedding,
+  kLSTM,
+  kAttention,
+  kFeedForward,
+  kLayerNorm,
+  kBatchNorm,
+  kConcat,
+  kElementwise,
+};
+
+const char* op_kind_name(OpKind kind);
+
+/// A parameter (weight) tensor of a node. `dims` lists the iteration-space
+/// dims that index the tensor; devices that agree on those dims hold the same
+/// shard, so the gradient all-reduce group is the product of the configuration
+/// over all *other* dims.
+struct ParamTensor {
+  i64 volume = 0;         ///< number of elements
+  std::vector<i32> dims;  ///< iteration-space dims indexing this tensor
+};
+
+/// Halo exchange induced by splitting a spatial dim of a stencil op (conv).
+struct HaloSpec {
+  i32 dim = 0;        ///< iteration-space dim whose split causes the halo
+  i64 width = 0;      ///< one-sided halo width in elements ((r-1)/2 for conv)
+};
+
+/// Primary output tensor, used to size internal collectives (partial-sum
+/// all-reduce when reduction dims are split).
+struct OutputSpec {
+  i64 volume = 0;
+  std::vector<i32> dims;  ///< iteration-space dims indexing the output
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  OpKind kind = OpKind::kElementwise;
+  IterSpace space;
+
+  /// Forward FLOPs per iteration-space point (e.g. 2 for a multiply-add).
+  double flops_per_point = 0.0;
+
+  std::vector<ParamTensor> params;
+  std::vector<i32> reduction_dims;  ///< dims reduced over (e.g. GEMM k)
+  std::vector<HaloSpec> halos;
+  OutputSpec output;
+
+  /// Total forward FLOPs of the layer.
+  double fwd_flops() const {
+    return flops_per_point * static_cast<double>(space.volume());
+  }
+
+  i64 param_volume() const {
+    i64 v = 0;
+    for (const auto& p : params) v += p.volume;
+    return v;
+  }
+};
+
+}  // namespace pase

@@ -1,0 +1,225 @@
+#include "io/model_parser.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "ops/ops.h"
+
+namespace pase {
+
+namespace {
+
+/// key=value argument bag for one `node` line.
+class Args {
+ public:
+  bool parse(std::istringstream& ls, std::string* error) {
+    std::string token;
+    while (ls >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+        *error = "expected key=value, got '" + token + "'";
+        return false;
+      }
+      i64 value = 0;
+      try {
+        value = std::stoll(token.substr(eq + 1));
+      } catch (...) {
+        *error = "non-integer value in '" + token + "'";
+        return false;
+      }
+      values_[token.substr(0, eq)] = value;
+    }
+    return true;
+  }
+
+  /// Required key; flags `error` when absent.
+  i64 get(const std::string& key, std::string* error) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      if (error->empty()) *error = "missing required key '" + key + "'";
+      return 1;
+    }
+    used_.insert(*it);
+    return it->second;
+  }
+
+  i64 get_or(const std::string& key, i64 fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(*it);
+    return it->second;
+  }
+
+  /// Any keys never consumed (typo detection).
+  std::string unused() const {
+    for (const auto& kv : values_)
+      if (!used_.count(kv)) return kv.first;
+    return "";
+  }
+
+ private:
+  std::map<std::string, i64> values_;
+  std::set<std::pair<const std::string, i64>> used_;
+};
+
+}  // namespace
+
+ModelParseResult parse_model(const std::string& text) {
+  ModelParseResult result;
+  std::istringstream is(text);
+  std::string line;
+  i64 line_no = 0;
+  bool header_seen = false;
+  i64 batch = 1;
+  std::map<std::string, NodeId> by_name;
+
+  auto fail = [&](const std::string& why) {
+    result.error = "line " + std::to_string(line_no) + ": " + why;
+    return result;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+
+    if (!header_seen) {
+      std::string version;
+      if (kw != "pase-model" || !(ls >> version) || version != "v1")
+        return fail("expected header 'pase-model v1'");
+      header_seen = true;
+      continue;
+    }
+
+    if (kw == "model") {
+      ls >> result.name;
+    } else if (kw == "batch") {
+      if (!(ls >> batch) || batch < 1) return fail("bad batch size");
+    } else if (kw == "node") {
+      std::string name, op;
+      if (!(ls >> name >> op)) return fail("node needs a name and an op");
+      if (by_name.count(name)) return fail("duplicate node '" + name + "'");
+      Args args;
+      std::string err;
+      if (!args.parse(ls, &err)) return fail(err);
+      const i64 b = args.get_or("b", batch);
+
+      Node node;
+      if (op == "conv2d") {
+        node = ops::conv2d(name, b, args.get("c", &err), args.get("h", &err),
+                           args.get("w", &err), args.get("n", &err),
+                           args.get("r", &err), args.get("s", &err),
+                           args.get_or("spatial", 0) != 0);
+      } else if (op == "dwconv") {
+        node = ops::depthwise_conv2d(
+            name, b, args.get("c", &err), args.get("h", &err),
+            args.get("w", &err), args.get("r", &err), args.get("s", &err),
+            args.get_or("spatial", 0) != 0);
+      } else if (op == "pool") {
+        node = ops::pool(name, b, args.get("c", &err), args.get("h", &err),
+                         args.get("w", &err), args.get("r", &err),
+                         args.get("s", &err), args.get_or("spatial", 0) != 0);
+      } else if (op == "fc") {
+        node = ops::fully_connected(name, b, args.get("n", &err),
+                                    args.get("c", &err));
+      } else if (op == "softmax") {
+        node = ops::softmax(name, b, args.get("n", &err));
+      } else if (op == "softmax_seq") {
+        node = ops::softmax_seq(name, b, args.get("s", &err),
+                                args.get("v", &err));
+      } else if (op == "embedding") {
+        node = ops::embedding(name, b, args.get("s", &err),
+                              args.get("d", &err), args.get("v", &err));
+      } else if (op == "lstm") {
+        node = ops::lstm(name, args.get("l", &err), b, args.get("s", &err),
+                         args.get("d", &err), args.get("e", &err));
+      } else if (op == "attention") {
+        const i64 s = args.get("s", &err);
+        node = ops::attention(name, b, s, args.get("heads", &err),
+                              args.get("qk", &err), args.get("qk", &err),
+                              args.get_or("skv", s));
+      } else if (op == "ffn") {
+        node = ops::feed_forward(name, b, args.get("s", &err),
+                                 args.get("d", &err), args.get("e", &err));
+      } else if (op == "layernorm") {
+        node = ops::layer_norm(name, b, args.get("s", &err),
+                               args.get("d", &err));
+      } else if (op == "batchnorm") {
+        node = ops::batch_norm(name, b, args.get("c", &err),
+                               args.get("h", &err), args.get("w", &err));
+      } else if (op == "concat") {
+        node = ops::concat(name, b, args.get("c", &err), args.get("h", &err),
+                           args.get("w", &err));
+      } else if (op == "elementwise") {
+        node = ops::elementwise(name, b, args.get("c", &err),
+                                args.get("h", &err), args.get("w", &err));
+      } else if (op == "elementwise_seq") {
+        node = ops::elementwise_seq(name, b, args.get("s", &err),
+                                    args.get("d", &err));
+      } else if (op == "projection") {
+        node = ops::projection(name, b, args.get("s", &err),
+                               args.get("v", &err), args.get("d", &err));
+      } else {
+        return fail("unknown op '" + op + "'");
+      }
+      if (!err.empty()) return fail(op + ": " + err);
+      const std::string stray = args.unused();
+      if (!stray.empty())
+        return fail(op + ": unknown key '" + stray + "'");
+      by_name[name] = result.graph.add_node(std::move(node));
+    } else if (kw == "edge") {
+      std::string src, dst;
+      if (!(ls >> src >> dst)) return fail("edge needs src and dst nodes");
+      const auto si = by_name.find(src);
+      const auto di = by_name.find(dst);
+      if (si == by_name.end()) return fail("unknown node '" + src + "'");
+      if (di == by_name.end()) return fail("unknown node '" + dst + "'");
+      std::vector<std::string> src_names, dst_names;
+      std::string map;
+      while (ls >> map) {
+        const auto colon = map.find(':');
+        if (colon == std::string::npos)
+          return fail("edge map must be srcdim:dstdim, got '" + map + "'");
+        const std::string s_dim = map.substr(0, colon);
+        const std::string d_dim = map.substr(colon + 1);
+        if (s_dim == "-" || s_dim.empty())
+          return fail("producer side of an edge map must name a dim");
+        if (result.graph.node(si->second).space.find(s_dim) < 0)
+          return fail("'" + src + "' has no dim '" + s_dim + "'");
+        if (d_dim != "-" &&
+            result.graph.node(di->second).space.find(d_dim) < 0)
+          return fail("'" + dst + "' has no dim '" + d_dim + "'");
+        src_names.push_back(s_dim);
+        dst_names.push_back(d_dim == "-" ? "" : d_dim);
+      }
+      if (src_names.empty()) return fail("edge needs at least one dim map");
+      result.graph.add_edge_named(si->second, di->second, src_names,
+                                  dst_names);
+    } else {
+      return fail("unknown directive '" + kw + "'");
+    }
+  }
+
+  if (!header_seen) {
+    result.error = "empty input";
+    return result;
+  }
+  if (result.graph.num_nodes() == 0) {
+    result.error = "model has no nodes";
+    return result;
+  }
+  if (!result.graph.weakly_connected()) {
+    result.error = "model graph must be weakly connected";
+    return result;
+  }
+  result.graph.validate();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pase

@@ -1,0 +1,43 @@
+// Text model-description format, so users can run the strategy search on
+// their own networks without writing C++. Line-oriented; '#' starts a
+// comment. Grammar:
+//
+//   pase-model v1
+//   batch <N>                      # default batch used by node shorthands
+//   node <name> <op> key=value...  # one layer
+//   edge <src> <dst> <map>...      # one tensor; maps are srcdim:dstdim
+//
+// Supported ops and their keys (batch b defaults to the `batch` directive):
+//   conv2d    c h w n r s [spatial=1]     pool      c h w r s [spatial=1]
+//   dwconv    c h w r s [spatial=1]       fc        n c
+//   softmax   n                           softmax_seq s v
+//   embedding s d v                       lstm      l s d e
+//   attention s heads qk [skv]            ffn       s d e
+//   layernorm s d                         batchnorm c h w
+//   concat    c h w                       elementwise c h w
+//   elementwise_seq s d                   projection  s v d
+//
+// Edge maps pair a producer iteration-dim name with a consumer dim name;
+// '-' on the consumer side means the consumer needs the dim's full extent
+// (e.g. "edge enc attn b:b s:- d:-"). The tensor's shape is taken from the
+// producer dims.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace pase {
+
+struct ModelParseResult {
+  bool ok = false;
+  std::string error;  ///< "line N: reason" when !ok
+  std::string name;   ///< optional `model <name>` directive
+  Graph graph;
+};
+
+/// Parses the format above. The returned graph is validated (connected,
+/// consistent dim maps) on success.
+ModelParseResult parse_model(const std::string& text);
+
+}  // namespace pase

@@ -1,0 +1,107 @@
+#include "io/strategy_io.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pase {
+
+std::string write_strategy(const Graph& graph, const Strategy& phi) {
+  PASE_CHECK(static_cast<i64>(phi.size()) == graph.num_nodes());
+  std::ostringstream os;
+  os << "pase-strategy v1\n";
+  for (const Node& n : graph.nodes()) {
+    const Config& c = phi[static_cast<size_t>(n.id)];
+    PASE_CHECK(c.rank() == n.space.rank());
+    os << "node " << n.name << " dims " << n.space.names() << " config ";
+    for (i64 d = 0; d < c.rank(); ++d) {
+      if (d) os << ',';
+      os << c[d];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ReadResult read_strategy(const Graph& graph, const std::string& text) {
+  ReadResult result;
+  std::map<std::string, NodeId> by_name;
+  for (const Node& n : graph.nodes()) {
+    if (!by_name.emplace(n.name, n.id).second) {
+      result.error = "graph has duplicate node name: " + n.name;
+      return result;
+    }
+  }
+
+  result.strategy.assign(static_cast<size_t>(graph.num_nodes()), Config{});
+  std::vector<bool> seen(static_cast<size_t>(graph.num_nodes()), false);
+
+  std::istringstream is(text);
+  std::string line;
+  bool header_seen = false;
+  i64 line_no = 0;
+  auto fail = [&](const std::string& why) {
+    result.error = "line " + std::to_string(line_no) + ": " + why;
+    return result;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line != "pase-strategy v1")
+        return fail("expected header 'pase-strategy v1'");
+      header_seen = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string kw_node, name, kw_dims, dims, kw_config, config_str;
+    if (!(ls >> kw_node >> name >> kw_dims >> dims >> kw_config >>
+          config_str) ||
+        kw_node != "node" || kw_dims != "dims" || kw_config != "config")
+      return fail("malformed record");
+
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) return fail("unknown node '" + name + "'");
+    const Node& node = graph.node(it->second);
+    if (seen[static_cast<size_t>(it->second)])
+      return fail("duplicate record for '" + name + "'");
+    if (dims != node.space.names())
+      return fail("dim signature mismatch for '" + name + "': expected " +
+                  node.space.names() + ", got " + dims);
+
+    Config c;
+    std::istringstream cs(config_str);
+    std::string factor;
+    while (std::getline(cs, factor, ',')) {
+      i64 f = 0;
+      try {
+        f = std::stoll(factor);
+      } catch (...) {
+        return fail("bad split factor '" + factor + "'");
+      }
+      if (f < 1 || f > 65535 || c.rank() == Config::kMaxRank)
+        return fail("split factor out of range");
+      c.push_back(static_cast<u16>(f));
+    }
+    if (c.rank() != node.space.rank())
+      return fail("config rank mismatch for '" + name + "'");
+    result.strategy[static_cast<size_t>(it->second)] = c;
+    seen[static_cast<size_t>(it->second)] = true;
+  }
+
+  if (!header_seen) {
+    result.error = "empty input";
+    return result;
+  }
+  for (const Node& n : graph.nodes())
+    if (!seen[static_cast<size_t>(n.id)]) {
+      result.error = "missing record for node '" + n.name + "'";
+      return result;
+    }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pase

@@ -1,0 +1,34 @@
+// Strategy serialization. The paper (§II, §VI) points out that frameworks
+// like GShard and Mesh-TensorFlow can consume user-specified sharding
+// decisions; this module writes PaSE strategies in a stable line-oriented
+// text format such a bridge can parse, and reads them back (round-trip
+// safe), keyed by layer name so a strategy survives graph rebuilds.
+//
+// Format (one record per node, '#' comments ignored):
+//
+//   pase-strategy v1
+//   node <name> dims <dim-names> config <c1,c2,...>
+#pragma once
+
+#include <string>
+
+#include "config/config.h"
+#include "graph/graph.h"
+
+namespace pase {
+
+/// Serializes `phi` for `graph` into the textual format above.
+std::string write_strategy(const Graph& graph, const Strategy& phi);
+
+struct ReadResult {
+  bool ok = false;
+  std::string error;  ///< human-readable reason when !ok
+  Strategy strategy;
+};
+
+/// Parses a serialized strategy and binds it to `graph` by node name.
+/// Fails (with a message) on unknown/missing/duplicate node names, dim
+/// signature mismatches, or malformed records.
+ReadResult read_strategy(const Graph& graph, const std::string& text);
+
+}  // namespace pase

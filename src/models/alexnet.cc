@@ -1,0 +1,59 @@
+#include "models/models.h"
+#include "models/wiring.h"
+#include "ops/ops.h"
+
+namespace pase::models {
+
+Graph alexnet(i64 batch) {
+  Graph g;
+  const i64 b = batch;
+
+  // Convolutional trunk (output spatial extents after stride/pooling).
+  const NodeId conv1 = g.add_node(ops::conv2d("Conv1", b, 3, 55, 55, 96, 11, 11));
+  const NodeId pool1 = g.add_node(ops::pool("Pool1", b, 96, 27, 27, 3, 3));
+  const NodeId conv2 = g.add_node(ops::conv2d("Conv2", b, 96, 27, 27, 256, 5, 5));
+  const NodeId pool2 = g.add_node(ops::pool("Pool2", b, 256, 13, 13, 3, 3));
+  const NodeId conv3 = g.add_node(ops::conv2d("Conv3", b, 256, 13, 13, 384, 3, 3));
+  const NodeId conv4 = g.add_node(ops::conv2d("Conv4", b, 384, 13, 13, 384, 3, 3));
+  const NodeId conv5 = g.add_node(ops::conv2d("Conv5", b, 384, 13, 13, 256, 3, 3));
+  const NodeId pool5 = g.add_node(ops::pool("Pool5", b, 256, 6, 6, 3, 3));
+
+  // Classifier head.
+  const NodeId fc1 = g.add_node(ops::fully_connected("FC1", b, 4096, 256 * 6 * 6));
+  const NodeId fc2 = g.add_node(ops::fully_connected("FC2", b, 4096, 4096));
+  const NodeId fc3 = g.add_node(ops::fully_connected("FC3", b, 1000, 4096));
+  const NodeId sm = g.add_node(ops::softmax("Softmax", b, 1000));
+
+  connect_image(g, conv1, pool1);
+  connect_image(g, pool1, conv2);
+  connect_image(g, conv2, pool2);
+  connect_image(g, pool2, conv3);
+  connect_image(g, conv3, conv4);
+  connect_image(g, conv4, conv5);
+  connect_image(g, conv5, pool5);
+  connect_flatten(g, pool5, fc1);
+  connect_fc(g, fc1, fc2);
+  connect_fc(g, fc2, fc3);
+  connect_fc_softmax(g, fc3, sm);
+
+  g.validate();
+  return g;
+}
+
+Graph mlp(i64 batch, const std::vector<i64>& widths) {
+  PASE_CHECK(widths.size() >= 2);
+  Graph g;
+  NodeId prev = kInvalidNode;
+  for (size_t i = 1; i < widths.size(); ++i) {
+    const NodeId fc = g.add_node(ops::fully_connected(
+        "FC" + std::to_string(i), batch, widths[i], widths[i - 1]));
+    if (prev != kInvalidNode) connect_fc(g, prev, fc);
+    prev = fc;
+  }
+  const NodeId sm = g.add_node(ops::softmax("Softmax", batch, widths.back()));
+  connect_fc_softmax(g, prev, sm);
+  g.validate();
+  return g;
+}
+
+}  // namespace pase::models

@@ -1,0 +1,66 @@
+// DenseNet-style stack of dense blocks: within a block every layer consumes
+// the outputs of all previous layers. The graph is uniformly dense, so no
+// vertex ordering can keep dependent sets small — the limitation the paper
+// discusses in §V; used by the dependent-set ablation.
+#include "models/models.h"
+#include "models/wiring.h"
+#include "ops/ops.h"
+
+namespace pase::models {
+
+Graph densenet(i64 batch, i64 blocks, i64 layers_per_block, i64 growth) {
+  Graph g;
+  i64 counter = 0;
+  i64 h = 28, w = 28;
+  i64 channels = 2 * growth;
+
+  NodeId stem = g.add_node(
+      ops::conv2d("Stem", batch, 3, h, w, channels, 3, 3));
+
+  NodeId block_in = stem;
+  for (i64 blk = 0; blk < blocks; ++blk) {
+    std::vector<NodeId> feeds{block_in};
+    i64 cin = channels;
+    for (i64 l = 0; l < layers_per_block; ++l) {
+      const NodeId conv = g.add_node(ops::conv2d(
+          "Dense" + std::to_string(++counter), batch, cin, h, w, growth, 3,
+          3));
+      // Dense connectivity: this layer reads every previous output.
+      for (NodeId f : feeds) connect_image(g, f, conv);
+      feeds.push_back(conv);
+      cin += growth;
+    }
+    // Transition: 1x1 conv halving the spatial grid, fed by all layers.
+    h /= 2;
+    w /= 2;
+    const NodeId trans = g.add_node(ops::conv2d(
+        "Transition" + std::to_string(blk + 1), batch, cin, h, w, cin / 2, 1,
+        1));
+    for (NodeId f : feeds) connect_image(g, f, trans);
+    channels = cin / 2;
+    block_in = trans;
+  }
+
+  const NodeId gap = g.add_node(
+      ops::pool("GlobalPool", batch, channels, 1, 1, h, w));
+  connect_image(g, block_in, gap);
+  const NodeId fc =
+      g.add_node(ops::fully_connected("FC", batch, 1000, channels));
+  connect_flatten(g, gap, fc);
+  const NodeId sm = g.add_node(ops::softmax("Softmax", batch, 1000));
+  connect_fc_softmax(g, fc, sm);
+
+  g.validate();
+  return g;
+}
+
+std::vector<Benchmark> paper_benchmarks() {
+  std::vector<Benchmark> v;
+  v.push_back({"AlexNet", alexnet()});
+  v.push_back({"InceptionV3", inception_v3()});
+  v.push_back({"RNNLM", rnnlm()});
+  v.push_back({"Transformer", transformer()});
+  return v;
+}
+
+}  // namespace pase::models

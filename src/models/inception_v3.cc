@@ -1,0 +1,165 @@
+// InceptionV3 graph builder. Every convolution is followed by a batch-norm
+// node (conv+BN+ReLU blocks in the reference network); inception modules
+// fan out of and back into high-degree split/concat nodes, giving the graph
+// the sparse-with-a-few-dense-spots structure the paper's §III-C discusses
+// (Fig. 5 shows the InceptionE subgraph).
+#include "models/models.h"
+#include "models/wiring.h"
+#include "ops/ops.h"
+#include "util/check.h"
+
+namespace pase::models {
+
+namespace {
+
+/// Incrementally builds the network; tracks the running layer counter so
+/// node names stay unique.
+class Builder {
+ public:
+  explicit Builder(Graph& g, i64 batch) : g_(g), b_(batch) {}
+
+  /// conv(+BN) block: returns the BN node as the block output.
+  NodeId conv(NodeId in, i64 cin, i64 h, i64 w, i64 n, i64 r, i64 s) {
+    const std::string id = std::to_string(++counter_);
+    const NodeId c = g_.add_node(ops::conv2d("Conv" + id, b_, cin, h, w, n,
+                                             r, s));
+    if (in != kInvalidNode) connect_image(g_, in, c);
+    const NodeId bn = g_.add_node(ops::batch_norm("BN" + id, b_, n, h, w));
+    connect_image(g_, c, bn);
+    return bn;
+  }
+
+  NodeId max_pool(NodeId in, i64 c, i64 h, i64 w, i64 r, i64 s) {
+    const NodeId p = g_.add_node(
+        ops::pool("Pool" + std::to_string(++counter_), b_, c, h, w, r, s));
+    connect_image(g_, in, p);
+    return p;
+  }
+
+  NodeId concat(const std::vector<NodeId>& inputs, i64 c_total, i64 h,
+                i64 w) {
+    const NodeId cc = g_.add_node(
+        ops::concat("Concat" + std::to_string(++counter_), b_, c_total, h,
+                    w));
+    for (NodeId in : inputs) connect_image(g_, in, cc);
+    return cc;
+  }
+
+  Graph& g_;
+  i64 b_;
+  i64 counter_ = 0;
+};
+
+/// 35x35 module: 1x1 / 1x1->5x5 / 1x1->3x3->3x3 / pool->1x1 branches.
+NodeId inception_a(Builder& B, NodeId in, i64 cin, i64 pool_proj) {
+  const i64 h = 35, w = 35;
+  const NodeId b1 = B.conv(in, cin, h, w, 64, 1, 1);
+  NodeId b2 = B.conv(in, cin, h, w, 48, 1, 1);
+  b2 = B.conv(b2, 48, h, w, 64, 5, 5);
+  NodeId b3 = B.conv(in, cin, h, w, 64, 1, 1);
+  b3 = B.conv(b3, 64, h, w, 96, 3, 3);
+  b3 = B.conv(b3, 96, h, w, 96, 3, 3);
+  NodeId b4 = B.max_pool(in, cin, h, w, 3, 3);
+  b4 = B.conv(b4, cin, h, w, pool_proj, 1, 1);
+  return B.concat({b1, b2, b3, b4}, 64 + 64 + 96 + pool_proj, h, w);
+}
+
+/// Grid reduction 35x35 -> 17x17.
+NodeId inception_b(Builder& B, NodeId in, i64 cin) {
+  const NodeId b1 = B.conv(in, cin, 17, 17, 384, 3, 3);  // stride 2
+  NodeId b2 = B.conv(in, cin, 35, 35, 64, 1, 1);
+  b2 = B.conv(b2, 64, 35, 35, 96, 3, 3);
+  b2 = B.conv(b2, 96, 17, 17, 96, 3, 3);  // stride 2
+  const NodeId b3 = B.max_pool(in, cin, 17, 17, 3, 3);  // stride 2
+  return B.concat({b1, b2, b3}, 384 + 96 + cin, 17, 17);
+}
+
+/// 17x17 module with factorized 7x7 convolutions; c7 is the bottleneck
+/// width (128/160/160/192 across the four C modules).
+NodeId inception_c(Builder& B, NodeId in, i64 cin, i64 c7) {
+  const i64 h = 17, w = 17;
+  const NodeId b1 = B.conv(in, cin, h, w, 192, 1, 1);
+  NodeId b2 = B.conv(in, cin, h, w, c7, 1, 1);
+  b2 = B.conv(b2, c7, h, w, c7, 1, 7);
+  b2 = B.conv(b2, c7, h, w, 192, 7, 1);
+  NodeId b3 = B.conv(in, cin, h, w, c7, 1, 1);
+  b3 = B.conv(b3, c7, h, w, c7, 7, 1);
+  b3 = B.conv(b3, c7, h, w, c7, 1, 7);
+  b3 = B.conv(b3, c7, h, w, c7, 7, 1);
+  b3 = B.conv(b3, c7, h, w, 192, 1, 7);
+  NodeId b4 = B.max_pool(in, cin, h, w, 3, 3);
+  b4 = B.conv(b4, cin, h, w, 192, 1, 1);
+  return B.concat({b1, b2, b3, b4}, 4 * 192, h, w);
+}
+
+/// Grid reduction 17x17 -> 8x8.
+NodeId inception_d(Builder& B, NodeId in, i64 cin) {
+  NodeId b1 = B.conv(in, cin, 17, 17, 192, 1, 1);
+  b1 = B.conv(b1, 192, 8, 8, 320, 3, 3);  // stride 2
+  NodeId b2 = B.conv(in, cin, 17, 17, 192, 1, 1);
+  b2 = B.conv(b2, 192, 17, 17, 192, 1, 7);
+  b2 = B.conv(b2, 192, 17, 17, 192, 7, 1);
+  b2 = B.conv(b2, 192, 8, 8, 192, 3, 3);  // stride 2
+  const NodeId b3 = B.max_pool(in, cin, 8, 8, 3, 3);  // stride 2
+  return B.concat({b1, b2, b3}, 320 + 192 + cin, 8, 8);
+}
+
+/// 8x8 module (paper Fig. 5): two branches themselves fork into parallel
+/// 1x3 / 3x1 convolutions that rejoin at the concat, creating the
+/// high-degree nodes the ordering has to handle.
+NodeId inception_e(Builder& B, NodeId in, i64 cin) {
+  const i64 h = 8, w = 8;
+  const NodeId b1 = B.conv(in, cin, h, w, 320, 1, 1);
+  const NodeId b2 = B.conv(in, cin, h, w, 384, 1, 1);
+  const NodeId b2a = B.conv(b2, 384, h, w, 384, 1, 3);
+  const NodeId b2b = B.conv(b2, 384, h, w, 384, 3, 1);
+  NodeId b3 = B.conv(in, cin, h, w, 448, 1, 1);
+  b3 = B.conv(b3, 448, h, w, 384, 3, 3);
+  const NodeId b3a = B.conv(b3, 384, h, w, 384, 1, 3);
+  const NodeId b3b = B.conv(b3, 384, h, w, 384, 3, 1);
+  NodeId b4 = B.max_pool(in, cin, h, w, 3, 3);
+  b4 = B.conv(b4, cin, h, w, 192, 1, 1);
+  return B.concat({b1, b2a, b2b, b3a, b3b, b4},
+                  320 + 4 * 384 + 192, h, w);
+}
+
+}  // namespace
+
+Graph inception_v3(i64 batch) {
+  Graph g;
+  Builder B(g, batch);
+
+  // Stem: 299x299x3 -> 35x35x192.
+  NodeId x = B.conv(kInvalidNode, 3, 149, 149, 32, 3, 3);  // stride 2
+  x = B.conv(x, 32, 147, 147, 32, 3, 3);
+  x = B.conv(x, 32, 147, 147, 64, 3, 3);
+  x = B.max_pool(x, 64, 73, 73, 3, 3);  // stride 2
+  x = B.conv(x, 64, 73, 73, 80, 1, 1);
+  x = B.conv(x, 80, 71, 71, 192, 3, 3);
+  x = B.max_pool(x, 192, 35, 35, 3, 3);  // stride 2
+
+  // Inception modules.
+  x = inception_a(B, x, 192, 32);   // -> 256
+  x = inception_a(B, x, 256, 64);   // -> 288
+  x = inception_a(B, x, 288, 64);   // -> 288
+  x = inception_b(B, x, 288);       // -> 768, 17x17
+  x = inception_c(B, x, 768, 128);
+  x = inception_c(B, x, 768, 160);
+  x = inception_c(B, x, 768, 160);
+  x = inception_c(B, x, 768, 192);
+  x = inception_d(B, x, 768);       // -> 1280, 8x8
+  x = inception_e(B, x, 1280);      // -> 2048
+  x = inception_e(B, x, 2048);      // -> 2048
+
+  // Head: global average pool -> FC -> softmax.
+  x = B.max_pool(x, 2048, 1, 1, 8, 8);
+  const NodeId fc = g.add_node(ops::fully_connected("FC", batch, 1000, 2048));
+  connect_flatten(g, x, fc);
+  const NodeId sm = g.add_node(ops::softmax("Softmax", batch, 1000));
+  connect_fc_softmax(g, fc, sm);
+
+  g.validate();
+  return g;
+}
+
+}  // namespace pase::models

@@ -1,0 +1,88 @@
+// MobileNetV1 (depthwise-separable CNN) and a GNMT-style LSTM
+// encoder-decoder NMT model — further zoo coverage: MobileNet exercises the
+// depthwise operator (channel splits are communication-free there), GNMT
+// exercises a two-stack recurrent graph with an attention bridge, the
+// architecture whose expert strategy [1] the paper's RNN baseline mimics.
+#include "models/models.h"
+#include "models/wiring.h"
+#include "ops/ops.h"
+
+namespace pase::models {
+
+Graph mobilenet_v1(i64 batch) {
+  Graph g;
+  i64 counter = 0;
+  auto conv = [&](NodeId in, i64 cin, i64 hw, i64 n, i64 k) {
+    const NodeId c = g.add_node(ops::conv2d(
+        "Conv" + std::to_string(++counter), batch, cin, hw, hw, n, k, k));
+    if (in != kInvalidNode) connect_image(g, in, c);
+    return c;
+  };
+  auto dw = [&](NodeId in, i64 c, i64 hw) {
+    const NodeId d = g.add_node(ops::depthwise_conv2d(
+        "DwConv" + std::to_string(++counter), batch, c, hw, hw, 3, 3));
+    connect_image(g, in, d);
+    return d;
+  };
+
+  // Stem, then 13 depthwise-separable blocks (dw 3x3 + pw 1x1).
+  NodeId x = conv(kInvalidNode, 3, 112, 32, 3);
+  struct Block {
+    i64 cin, hw, cout;
+  };
+  const Block blocks[] = {{32, 112, 64},    {64, 56, 128},  {128, 56, 128},
+                          {128, 28, 256},   {256, 28, 256}, {256, 14, 512},
+                          {512, 14, 512},   {512, 14, 512}, {512, 14, 512},
+                          {512, 14, 512},   {512, 14, 512}, {512, 7, 1024},
+                          {1024, 7, 1024}};
+  for (const Block& blk : blocks) {
+    x = dw(x, blk.cin, blk.hw);
+    x = conv(x, blk.cin, blk.hw, blk.cout, 1);
+  }
+
+  const NodeId gap =
+      g.add_node(ops::pool("GlobalPool", batch, 1024, 1, 1, 7, 7));
+  connect_image(g, x, gap);
+  const NodeId fc = g.add_node(ops::fully_connected("FC", batch, 1000, 1024));
+  connect_flatten(g, gap, fc);
+  const NodeId sm = g.add_node(ops::softmax("Softmax", batch, 1000));
+  connect_fc_softmax(g, fc, sm);
+  g.validate();
+  return g;
+}
+
+Graph gnmt(i64 batch, i64 seq_len, i64 embed, i64 hidden, i64 vocab,
+           i64 layers) {
+  Graph g;
+  const NodeId src_emb =
+      g.add_node(ops::embedding("SrcEmbed", batch, seq_len, embed, vocab));
+  const NodeId encoder = g.add_node(
+      ops::lstm("Encoder", layers, batch, seq_len, embed, hidden));
+  g.add_edge_named(src_emb, encoder, {"b", "s", "d"}, {"b", "s", "d"});
+
+  const NodeId tgt_emb =
+      g.add_node(ops::embedding("TgtEmbed", batch, seq_len, embed, vocab));
+  const NodeId decoder = g.add_node(
+      ops::lstm("Decoder", layers, batch, seq_len, embed, hidden));
+  g.add_edge_named(tgt_emb, decoder, {"b", "s", "d"}, {"b", "s", "d"});
+
+  // Attention bridge: queries from the decoder states, keys/values from the
+  // encoder output (every device needs the full source states).
+  const NodeId attn = g.add_node(
+      ops::attention("Attention", batch, seq_len, 1, hidden, hidden,
+                     seq_len));
+  g.add_edge_named(encoder, attn, {"b", "s", "e"}, {"b", "", ""});
+  g.add_edge_named(decoder, attn, {"b", "s", "e"}, {"b", "s", ""});
+
+  const NodeId proj =
+      g.add_node(ops::projection("FC", batch, seq_len, vocab, hidden));
+  g.add_edge_named(attn, proj, {"b", "s", "c"}, {"b", "s", "d"});
+  const NodeId sm =
+      g.add_node(ops::softmax_seq("Softmax", batch, seq_len, vocab));
+  g.add_edge_named(proj, sm, {"b", "s", "v"}, {"b", "s", "v"});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace pase::models

@@ -1,0 +1,134 @@
+// ResNet-50 and VGG-16 builders — zoo extensions beyond the paper's four
+// benchmarks. ResNet's skip connections give every block a degree-3 join
+// node (between InceptionV3's fan-outs and AlexNet's path), a useful
+// ordering stress case; VGG-16 is a parameter-heavy path graph whose giant
+// FC layers make OWT-style parameter parallelism essential.
+#include "models/models.h"
+#include "models/wiring.h"
+#include "ops/ops.h"
+
+namespace pase::models {
+
+namespace {
+
+struct ResNetBuilder {
+  Graph& g;
+  i64 b;
+  i64 counter = 0;
+
+  NodeId conv_bn(NodeId in, i64 cin, i64 h, i64 w, i64 n, i64 r, i64 s) {
+    const std::string id = std::to_string(++counter);
+    const NodeId c =
+        g.add_node(ops::conv2d("Conv" + id, b, cin, h, w, n, r, s));
+    if (in != kInvalidNode) connect_image(g, in, c);
+    const NodeId bn = g.add_node(ops::batch_norm("BN" + id, b, n, h, w));
+    connect_image(g, c, bn);
+    return bn;
+  }
+
+  /// Bottleneck residual block: 1x1 -> 3x3 -> 1x1 plus a skip edge joined
+  /// by an elementwise add. `project` adds a 1x1 projection on the skip
+  /// path (stride/channel changes).
+  NodeId bottleneck(NodeId in, i64 cin, i64 h, i64 w, i64 mid, i64 out,
+                    bool project) {
+    NodeId x = conv_bn(in, cin, h, w, mid, 1, 1);
+    x = conv_bn(x, mid, h, w, mid, 3, 3);
+    x = conv_bn(x, mid, h, w, out, 1, 1);
+    NodeId skip = in;
+    if (project) skip = conv_bn(in, cin, h, w, out, 1, 1);
+    const NodeId add = g.add_node(
+        ops::elementwise("Add" + std::to_string(++counter), b, out, h, w));
+    connect_image(g, x, add);
+    connect_image(g, skip, add);
+    return add;
+  }
+};
+
+}  // namespace
+
+Graph resnet50(i64 batch) {
+  Graph g;
+  ResNetBuilder B{g, batch};
+
+  // Stem: 224x224x3 -> 56x56x64.
+  NodeId x = B.conv_bn(kInvalidNode, 3, 112, 112, 64, 7, 7);  // stride 2
+  const NodeId pool =
+      g.add_node(ops::pool("StemPool", batch, 64, 56, 56, 3, 3));
+  connect_image(g, x, pool);
+  x = pool;
+
+  // Stage layout: (blocks, mid, out, spatial).
+  struct Stage {
+    i64 blocks, mid, out, hw;
+  };
+  const Stage stages[] = {
+      {3, 64, 256, 56}, {4, 128, 512, 28}, {6, 256, 1024, 14},
+      {3, 512, 2048, 7}};
+  i64 cin = 64;
+  for (const Stage& s : stages) {
+    for (i64 blk = 0; blk < s.blocks; ++blk) {
+      x = B.bottleneck(x, cin, s.hw, s.hw, s.mid, s.out,
+                       /*project=*/blk == 0);
+      cin = s.out;
+    }
+  }
+
+  const NodeId gap = g.add_node(ops::pool("GlobalPool", batch, 2048, 1, 1, 7, 7));
+  connect_image(g, x, gap);
+  const NodeId fc = g.add_node(ops::fully_connected("FC", batch, 1000, 2048));
+  connect_flatten(g, gap, fc);
+  const NodeId sm = g.add_node(ops::softmax("Softmax", batch, 1000));
+  connect_fc_softmax(g, fc, sm);
+  g.validate();
+  return g;
+}
+
+Graph vgg16(i64 batch) {
+  Graph g;
+  i64 counter = 0;
+  auto conv = [&](NodeId in, i64 cin, i64 hw, i64 n) {
+    const NodeId c = g.add_node(ops::conv2d(
+        "Conv" + std::to_string(++counter), batch, cin, hw, hw, n, 3, 3));
+    if (in != kInvalidNode) connect_image(g, in, c);
+    return c;
+  };
+  auto pool = [&](NodeId in, i64 c, i64 hw) {
+    const NodeId p = g.add_node(
+        ops::pool("Pool" + std::to_string(counter), batch, c, hw, hw, 2, 2));
+    connect_image(g, in, p);
+    return p;
+  };
+
+  NodeId x = conv(kInvalidNode, 3, 224, 64);
+  x = conv(x, 64, 224, 64);
+  x = pool(x, 64, 112);
+  x = conv(x, 64, 112, 128);
+  x = conv(x, 128, 112, 128);
+  x = pool(x, 128, 56);
+  x = conv(x, 128, 56, 256);
+  x = conv(x, 256, 56, 256);
+  x = conv(x, 256, 56, 256);
+  x = pool(x, 256, 28);
+  x = conv(x, 256, 28, 512);
+  x = conv(x, 512, 28, 512);
+  x = conv(x, 512, 28, 512);
+  x = pool(x, 512, 14);
+  x = conv(x, 512, 14, 512);
+  x = conv(x, 512, 14, 512);
+  x = conv(x, 512, 14, 512);
+  x = pool(x, 512, 7);
+
+  const NodeId fc1 =
+      g.add_node(ops::fully_connected("FC1", batch, 4096, 512 * 7 * 7));
+  connect_flatten(g, x, fc1);
+  const NodeId fc2 = g.add_node(ops::fully_connected("FC2", batch, 4096, 4096));
+  connect_fc(g, fc1, fc2);
+  const NodeId fc3 = g.add_node(ops::fully_connected("FC3", batch, 1000, 4096));
+  connect_fc(g, fc2, fc3);
+  const NodeId sm = g.add_node(ops::softmax("Softmax", batch, 1000));
+  connect_fc_softmax(g, fc3, sm);
+  g.validate();
+  return g;
+}
+
+}  // namespace pase::models

@@ -1,0 +1,34 @@
+// RNNLM graph: embedding -> LSTM stack -> vocabulary projection -> softmax.
+// Following paper §IV-A, the whole LSTM stack (including the recurrent
+// steps) is a single node with the 5-D iteration space (l, b, s, d, e), so
+// the graph is a simple path graph and configurations that split l or s
+// capture the intra-layer pipeline parallelism of the RNN.
+#include "models/models.h"
+#include "ops/ops.h"
+
+namespace pase::models {
+
+Graph rnnlm(i64 batch, i64 seq_len, i64 embed, i64 hidden, i64 vocab,
+            i64 layers) {
+  Graph g;
+  const NodeId emb =
+      g.add_node(ops::embedding("Embedding", batch, seq_len, embed, vocab));
+  const NodeId rnn =
+      g.add_node(ops::lstm("LSTM", layers, batch, seq_len, embed, hidden));
+  const NodeId proj =
+      g.add_node(ops::projection("FC", batch, seq_len, vocab, hidden));
+  const NodeId sm =
+      g.add_node(ops::softmax_seq("Softmax", batch, seq_len, vocab));
+
+  // Embedding output [b, s, d] feeds the LSTM input dim.
+  g.add_edge_named(emb, rnn, {"b", "s", "d"}, {"b", "s", "d"});
+  // Top-layer LSTM output [b, s, e] feeds the projection's contracted dim.
+  g.add_edge_named(rnn, proj, {"b", "s", "e"}, {"b", "s", "d"});
+  // Logits [b, s, v] feed the softmax.
+  g.add_edge_named(proj, sm, {"b", "s", "v"}, {"b", "s", "v"});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace pase::models

@@ -1,0 +1,122 @@
+// Transformer (base) graph with full residual/LayerNorm structure. The final
+// encoder LayerNorm output feeds every decoder cross-attention, making it a
+// high-degree node with a long live range — the structural property the
+// paper's §IV-A singles out as what makes Transformer harder to sequence
+// than InceptionV3.
+#include "models/models.h"
+#include "ops/ops.h"
+#include "util/check.h"
+
+namespace pase::models {
+
+namespace {
+
+/// Connects a [b, s, d]-shaped producer (embedding / layer-norm /
+/// elementwise / feed-forward) to a consumer. `dst_d` names the consumer
+/// iteration dim the model dim maps to ("" = the consumer needs the full
+/// model dim, e.g. attention projections contract over it).
+EdgeId seq_edge(Graph& g, NodeId src, NodeId dst, const std::string& dst_d) {
+  return g.add_edge_named(src, dst, {"b", "s", "d"}, {"b", "s", dst_d});
+}
+
+/// Connects an attention output [b, s, h, c] to a [b, s, d] consumer; the
+/// head dim maps onto the consumer's model dim (head-major layout), the
+/// within-head channels stay local.
+EdgeId attn_out_edge(Graph& g, NodeId src, NodeId dst) {
+  return g.add_edge_named(src, dst, {"b", "s", "h", "c"},
+                          {"b", "s", "d", ""});
+}
+
+}  // namespace
+
+Graph transformer(i64 batch, i64 seq_len, i64 d_model, i64 heads, i64 d_ff,
+                  i64 vocab, i64 layers) {
+  PASE_CHECK(d_model % heads == 0);
+  const i64 dk = d_model / heads;
+  Graph g;
+
+  auto add_ln = [&](const std::string& name) {
+    return g.add_node(ops::layer_norm(name, batch, seq_len, d_model));
+  };
+  auto add_residual = [&](const std::string& name) {
+    return g.add_node(ops::elementwise_seq(name, batch, seq_len, d_model));
+  };
+
+  // ---- Encoder ----
+  const NodeId src_emb =
+      g.add_node(ops::embedding("SrcEmbed", batch, seq_len, d_model, vocab));
+  NodeId x = src_emb;
+  for (i64 i = 1; i <= layers; ++i) {
+    const std::string t = std::to_string(i);
+    const NodeId attn = g.add_node(ops::attention(
+        "EncAttn" + t, batch, seq_len, heads, dk, dk, seq_len));
+    seq_edge(g, x, attn, "");
+    const NodeId add1 = add_residual("EncRes1_" + t);
+    seq_edge(g, x, add1, "d");
+    attn_out_edge(g, attn, add1);
+    const NodeId ln1 = add_ln("EncLN1_" + t);
+    seq_edge(g, add1, ln1, "d");
+
+    const NodeId ffn = g.add_node(
+        ops::feed_forward("EncFFN" + t, batch, seq_len, d_model, d_ff));
+    seq_edge(g, ln1, ffn, "d");
+    const NodeId add2 = add_residual("EncRes2_" + t);
+    seq_edge(g, ln1, add2, "d");
+    seq_edge(g, ffn, add2, "d");
+    const NodeId ln2 = add_ln("EncLN2_" + t);
+    seq_edge(g, add2, ln2, "d");
+    x = ln2;
+  }
+  const NodeId enc_out = x;
+
+  // ---- Decoder ----
+  const NodeId tgt_emb =
+      g.add_node(ops::embedding("TgtEmbed", batch, seq_len, d_model, vocab));
+  NodeId y = tgt_emb;
+  for (i64 i = 1; i <= layers; ++i) {
+    const std::string t = std::to_string(i);
+    const NodeId sattn = g.add_node(ops::attention(
+        "DecSelfAttn" + t, batch, seq_len, heads, dk, dk, seq_len));
+    seq_edge(g, y, sattn, "");
+    const NodeId add1 = add_residual("DecRes1_" + t);
+    seq_edge(g, y, add1, "d");
+    attn_out_edge(g, sattn, add1);
+    const NodeId ln1 = add_ln("DecLN1_" + t);
+    seq_edge(g, add1, ln1, "d");
+
+    // Cross-attention: queries from the decoder, keys/values from the
+    // encoder output (every device needs the full source activations).
+    const NodeId cattn = g.add_node(ops::attention(
+        "DecCrossAttn" + t, batch, seq_len, heads, dk, dk, seq_len));
+    seq_edge(g, ln1, cattn, "");
+    g.add_edge_named(enc_out, cattn, {"b", "s", "d"}, {"b", "", ""});
+    const NodeId add2 = add_residual("DecRes2_" + t);
+    seq_edge(g, ln1, add2, "d");
+    attn_out_edge(g, cattn, add2);
+    const NodeId ln2 = add_ln("DecLN2_" + t);
+    seq_edge(g, add2, ln2, "d");
+
+    const NodeId ffn = g.add_node(
+        ops::feed_forward("DecFFN" + t, batch, seq_len, d_model, d_ff));
+    seq_edge(g, ln2, ffn, "d");
+    const NodeId add3 = add_residual("DecRes3_" + t);
+    seq_edge(g, ln2, add3, "d");
+    seq_edge(g, ffn, add3, "d");
+    const NodeId ln3 = add_ln("DecLN3_" + t);
+    seq_edge(g, add3, ln3, "d");
+    y = ln3;
+  }
+
+  // ---- Output head ----
+  const NodeId proj =
+      g.add_node(ops::projection("FC", batch, seq_len, vocab, d_model));
+  seq_edge(g, y, proj, "d");
+  const NodeId sm =
+      g.add_node(ops::softmax_seq("Softmax", batch, seq_len, vocab));
+  g.add_edge_named(proj, sm, {"b", "s", "v"}, {"b", "s", "v"});
+
+  g.validate();
+  return g;
+}
+
+}  // namespace pase::models

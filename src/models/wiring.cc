@@ -1,0 +1,46 @@
+#include "models/wiring.h"
+
+#include "util/check.h"
+
+namespace pase::models {
+
+namespace {
+
+const char* channel_dim(const Node& n) {
+  // Regular convolutions emit their out-channel dim "n"; depthwise convs
+  // and every other image op use "c".
+  return n.space.find("n") >= 0 ? "n" : "c";
+}
+
+}  // namespace
+
+EdgeId connect_image(Graph& g, NodeId src, NodeId dst) {
+  const Node& s = g.node(src);
+  const std::string sc = channel_dim(s);
+  return g.add_edge_named(src, dst, {"b", sc, "h", "w"},
+                          {"b", "c", "h", "w"});
+}
+
+EdgeId connect_flatten(Graph& g, NodeId src, NodeId dst) {
+  const Node& s = g.node(src);
+  const std::string sc = channel_dim(s);
+  const i64 b = s.space.dim(s.space.find("b")).size;
+  const i64 c = s.space.dim(s.space.find(sc)).size;
+  const i64 h = s.space.dim(s.space.find("h")).size;
+  const i64 w = s.space.dim(s.space.find("w")).size;
+  // Tensor kept 4-D so producer-side splits stay visible; only the channel
+  // dim maps onto the FC's input channels (channel-major flattening).
+  return g.add_edge_named(src, dst, {"b", sc, "h", "w"},
+                          {"b", "c", "", ""}, {b, c, h, w});
+}
+
+EdgeId connect_fc(Graph& g, NodeId src, NodeId dst) {
+  PASE_CHECK(g.node(src).kind == OpKind::kFullyConnected);
+  return g.add_edge_named(src, dst, {"b", "n"}, {"b", "c"});
+}
+
+EdgeId connect_fc_softmax(Graph& g, NodeId src, NodeId dst) {
+  return g.add_edge_named(src, dst, {"b", "n"}, {"b", "n"});
+}
+
+}  // namespace pase::models

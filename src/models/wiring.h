@@ -1,0 +1,26 @@
+// Edge-wiring helpers shared by the model builders: they resolve the tensor
+// dim maps between common layer pairs so model code reads like a network
+// definition.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace pase::models {
+
+/// Connects an image-shaped output [b, channels, h, w] of `src` to the image
+/// input of `dst`. The producer's channel dim is "n" for convolutions and
+/// "c" otherwise; the consumer's is always "c". Spatial extents may differ
+/// (strides); the dim map still aligns them.
+EdgeId connect_image(Graph& g, NodeId src, NodeId dst);
+
+/// Connects a [b, c, h, w] feature map to a fully-connected layer (b, n, c),
+/// flattening c*h*w into the FC's input-channel dim (channel-major).
+EdgeId connect_flatten(Graph& g, NodeId src, NodeId dst);
+
+/// Connects FC output [b, n] to the next FC's input (b, *, c).
+EdgeId connect_fc(Graph& g, NodeId src, NodeId dst);
+
+/// Connects FC output [b, n] to a softmax (b, n).
+EdgeId connect_fc_softmax(Graph& g, NodeId src, NodeId dst);
+
+}  // namespace pase::models

@@ -1,0 +1,266 @@
+#include "ops/ops.h"
+
+#include "util/check.h"
+
+namespace pase::ops {
+
+namespace {
+
+IterDim dim(const char* name, i64 size, bool splittable = true) {
+  return IterDim{name, size, splittable};
+}
+
+}  // namespace
+
+Node conv2d(const std::string& name, i64 b, i64 c, i64 h, i64 w, i64 n, i64 r,
+            i64 s, bool allow_spatial_split) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kConv2D;
+  node.space = IterSpace({dim("b", b), dim("c", c),
+                          dim("h", h, allow_spatial_split),
+                          dim("w", w, allow_spatial_split), dim("n", n),
+                          dim("r", r, false), dim("s", s, false)});
+  node.flops_per_point = 2.0;  // one multiply-add per iteration point
+  node.params.push_back(ParamTensor{c * n * r * s, {1, 4, 5, 6}});
+  node.params.push_back(ParamTensor{n, {4}});  // bias
+  node.reduction_dims = {1, 5, 6};             // c, r, s
+  if (r > 1) node.halos.push_back(HaloSpec{2, (r - 1) / 2});
+  if (s > 1) node.halos.push_back(HaloSpec{3, (s - 1) / 2});
+  node.output = OutputSpec{b * n * h * w, {0, 4, 2, 3}};
+  return node;
+}
+
+Node depthwise_conv2d(const std::string& name, i64 b, i64 c, i64 h, i64 w,
+                      i64 r, i64 s, bool allow_spatial_split) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kConv2D;
+  node.space = IterSpace({dim("b", b), dim("c", c),
+                          dim("h", h, allow_spatial_split),
+                          dim("w", w, allow_spatial_split),
+                          dim("r", r, false), dim("s", s, false)});
+  node.flops_per_point = 2.0;
+  node.params.push_back(ParamTensor{c * r * s, {1, 4, 5}});
+  // The only contractions are the (never-split) filter dims: no reduction
+  // communication regardless of the configuration.
+  if (r > 1) node.halos.push_back(HaloSpec{2, (r - 1) / 2});
+  if (s > 1) node.halos.push_back(HaloSpec{3, (s - 1) / 2});
+  node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};
+  return node;
+}
+
+Node pool(const std::string& name, i64 b, i64 c, i64 h, i64 w, i64 r, i64 s,
+          bool allow_spatial_split) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kPool;
+  node.space = IterSpace({dim("b", b), dim("c", c),
+                          dim("h", h, allow_spatial_split),
+                          dim("w", w, allow_spatial_split),
+                          dim("r", r, false), dim("s", s, false)});
+  node.flops_per_point = 1.0;  // one compare/accumulate per window element
+  if (r > 1) node.halos.push_back(HaloSpec{2, (r - 1) / 2});
+  if (s > 1) node.halos.push_back(HaloSpec{3, (s - 1) / 2});
+  node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};
+  return node;
+}
+
+Node fully_connected(const std::string& name, i64 b, i64 n, i64 c) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kFullyConnected;
+  node.space = IterSpace({dim("b", b), dim("n", n), dim("c", c)});
+  node.flops_per_point = 2.0;
+  node.params.push_back(ParamTensor{n * c, {1, 2}});
+  node.params.push_back(ParamTensor{n, {1}});  // bias
+  node.reduction_dims = {2};
+  node.output = OutputSpec{b * n, {0, 1}};
+  return node;
+}
+
+Node softmax(const std::string& name, i64 b, i64 n) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kSoftmax;
+  node.space = IterSpace({dim("b", b), dim("n", n)});
+  node.flops_per_point = 5.0;  // exp, max, two sums, divide (amortized)
+  node.reduction_dims = {1};
+  // The reduction result is the per-row normalizer: volume b.
+  node.output = OutputSpec{b, {0}};
+  return node;
+}
+
+Node softmax_seq(const std::string& name, i64 b, i64 s, i64 v) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kSoftmax;
+  node.space = IterSpace({dim("b", b), dim("s", s, false), dim("v", v)});
+  node.flops_per_point = 5.0;
+  node.reduction_dims = {2};
+  node.output = OutputSpec{b * s, {0, 1}};
+  return node;
+}
+
+Node embedding(const std::string& name, i64 b, i64 s, i64 d, i64 v) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kEmbedding;
+  node.space =
+      IterSpace({dim("b", b), dim("s", s, false), dim("d", d), dim("v", v)});
+  // A lookup moves b*s*d elements regardless of v; expressing the op in the
+  // 4-D (b,s,d,v) space (so the vocab dim is a split choice, Table II) means
+  // the per-point density must absorb the 1/v factor.
+  node.flops_per_point = 1.0 / static_cast<double>(v);
+  node.params.push_back(ParamTensor{v * d, {3, 2}});
+  // Splitting v makes each device produce partial rows (tokens it owns);
+  // combining them is an all-reduce of the b*s*d output.
+  node.reduction_dims = {3};
+  node.output = OutputSpec{b * s * d, {0, 1, 2}};
+  return node;
+}
+
+Node lstm(const std::string& name, i64 l, i64 b, i64 s, i64 d, i64 e) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kLSTM;
+  node.space =
+      IterSpace({dim("l", l), dim("b", b), dim("s", s), dim("d", d),
+                 dim("e", e)});
+  // Four gates, each an input GEMM (d x e) plus a hidden GEMM (e x e);
+  // 2 FLOPs per MAC. Normalized per point of the l*b*s*d*e space:
+  // 8 + 8*e/d (the hidden-GEMM term rescaled onto the d axis).
+  node.flops_per_point = 8.0 + 8.0 * static_cast<double>(e) /
+                                   static_cast<double>(d);
+  node.params.push_back(
+      ParamTensor{l * 4 * (d * e + e * e), {0, 3, 4}});
+  node.reduction_dims = {3};  // input-dim contraction
+  node.output = OutputSpec{l * b * s * e, {0, 1, 2, 4}};
+  return node;
+}
+
+Node attention(const std::string& name, i64 b, i64 s, i64 h, i64 c, i64 k,
+               i64 s_kv) {
+  PASE_CHECK(s_kv >= 1);
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kAttention;
+  // s and c are kept serial: sequence splits would shard the attention
+  // pattern itself and per-head query channels are the natural atom; the
+  // paper's Table II configurations split only b, h (and the space keeps k
+  // as a further choice).
+  node.space = IterSpace({dim("b", b), dim("s", s, false), dim("h", h),
+                          dim("c", c, false), dim("k", k)});
+  const double D = static_cast<double>(h * c);   // model dim
+  const double Dk = static_cast<double>(h * k);  // kv dim
+  // Q/K/V/output projections (~8*b*s*D^2 when c == k) plus scores and
+  // context (~4*b*s*s_kv*D); normalized by the space volume b*s*h*c*k.
+  const double fwd = 2.0 * static_cast<double>(b) * static_cast<double>(s) *
+                         (D * D + D * Dk + Dk * Dk + D * D) +
+                     4.0 * static_cast<double>(b) * static_cast<double>(s) *
+                         static_cast<double>(s_kv) * D;
+  node.flops_per_point = fwd / static_cast<double>(node.space.volume());
+  node.params.push_back(ParamTensor{
+      static_cast<i64>(2 * D * D + 2 * D * Dk), {2, 3, 4}});
+  node.reduction_dims = {4};  // contraction over kv channels
+  node.output = OutputSpec{b * s * h * c, {0, 1, 2, 3}};
+  return node;
+}
+
+Node feed_forward(const std::string& name, i64 b, i64 s, i64 d, i64 e) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kFeedForward;
+  node.space =
+      IterSpace({dim("b", b), dim("s", s, false), dim("d", d), dim("e", e)});
+  node.flops_per_point = 4.0;  // two GEMMs, 2 FLOPs per MAC each
+  node.params.push_back(ParamTensor{2 * d * e, {2, 3}});
+  // Either GEMM's contraction needs a partial-sum all-reduce when its
+  // contracted dim is split.
+  node.reduction_dims = {2, 3};
+  node.output = OutputSpec{b * s * d, {0, 1, 2}};
+  return node;
+}
+
+Node projection(const std::string& name, i64 b, i64 s, i64 v, i64 d) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kFullyConnected;
+  node.space = IterSpace({dim("b", b), dim("s", s, false), dim("v", v),
+                          dim("d", d)});
+  node.flops_per_point = 2.0;
+  node.params.push_back(ParamTensor{v * d, {2, 3}});
+  node.reduction_dims = {3};
+  node.output = OutputSpec{b * s * v, {0, 1, 2}};
+  return node;
+}
+
+Node layer_norm(const std::string& name, i64 b, i64 s, i64 d) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kLayerNorm;
+  node.space = IterSpace({dim("b", b), dim("s", s, false), dim("d", d)});
+  node.flops_per_point = 5.0;
+  node.params.push_back(ParamTensor{2 * d, {2}});
+  node.reduction_dims = {2};
+  node.output = OutputSpec{b * s, {0, 1}};
+  return node;
+}
+
+Node batch_norm(const std::string& name, i64 b, i64 c, i64 h, i64 w) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kBatchNorm;
+  node.space = IterSpace({dim("b", b), dim("c", c), dim("h", h, false),
+                          dim("w", w, false)});
+  node.flops_per_point = 4.0;
+  node.params.push_back(ParamTensor{2 * c, {1}});
+  node.reduction_dims = {0, 2, 3};  // statistics over batch and space
+  node.output = OutputSpec{c, {1}};
+  return node;
+}
+
+Node concat(const std::string& name, i64 b, i64 c, i64 h, i64 w) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kConcat;
+  node.space = IterSpace({dim("b", b), dim("c", c), dim("h", h, false),
+                          dim("w", w, false)});
+  node.flops_per_point = 0.0;  // pure data movement, captured by t_x
+  node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};
+  return node;
+}
+
+Node elementwise(const std::string& name, i64 b, i64 c, i64 h, i64 w) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kElementwise;
+  node.space = IterSpace({dim("b", b), dim("c", c), dim("h", h, false),
+                          dim("w", w, false)});
+  node.flops_per_point = 1.0;
+  node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};
+  return node;
+}
+
+Node elementwise_seq(const std::string& name, i64 b, i64 s, i64 d) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kElementwise;
+  node.space = IterSpace({dim("b", b), dim("s", s, false), dim("d", d)});
+  node.flops_per_point = 1.0;
+  node.output = OutputSpec{b * s * d, {0, 1, 2}};
+  return node;
+}
+
+Node input(const std::string& name, i64 b, i64 c, i64 h, i64 w) {
+  Node node;
+  node.name = name;
+  node.kind = OpKind::kInput;
+  node.space = IterSpace({dim("b", b), dim("c", c), dim("h", h, false),
+                          dim("w", w, false)});
+  node.flops_per_point = 0.0;
+  node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};
+  return node;
+}
+
+}  // namespace pase::ops

@@ -1,0 +1,95 @@
+// Operator library: factory functions that build computation-graph nodes
+// with the analytical cost-model payload filled in (iteration space, FLOP
+// density, parameter tensors, reduction dims, halos, reduction-output spec).
+//
+// Conventions, matching the paper's Table II dimension legend:
+//   conv/pool:  b c h w n r s   (batch, in-chan, out-height, out-width,
+//                                out-chan, filter-height, filter-width)
+//   FC:         b n c           (batch, out-chan, in-chan)
+//   softmax:    b n   or  b s v
+//   embedding:  b s d v         (batch, seq-len, embed-dim, vocab)
+//   LSTM:       l b s d e       (layers, batch, seq-len, embed, hidden)
+//   attention:  b s h c k       (batch, seq-len, heads, query-chan, kv-chan)
+//   ffn:        b s d e         (batch, seq-len, model-dim, hidden-dim)
+//
+// FLOP counts are forward-pass; the cost model applies a backward multiplier.
+#pragma once
+
+#include <string>
+
+#include "graph/node.h"
+#include "util/types.h"
+
+namespace pase::ops {
+
+/// 2-D convolution producing an n x h x w output from a c-channel input with
+/// an r x s filter. h/w are *output* spatial extents. Filter dims are not
+/// splittable. Spatial dims are splittable only when `allow_spatial_split`
+/// is set (splitting them incurs halo exchange and is never chosen in the
+/// paper's Table II; leaving them out keeps |C(v)| at the paper's reported
+/// sizes). Splitting c/r/s incurs a partial-sum all-reduce of the output.
+Node conv2d(const std::string& name, i64 b, i64 c, i64 h, i64 w, i64 n, i64 r,
+            i64 s, bool allow_spatial_split = false);
+
+/// Depthwise convolution (MobileNet-style): each of the c channels is
+/// convolved with its own r x s filter; there is no cross-channel
+/// reduction, so splitting c is communication-free.
+Node depthwise_conv2d(const std::string& name, i64 b, i64 c, i64 h, i64 w,
+                      i64 r, i64 s, bool allow_spatial_split = false);
+
+/// Max/avg pooling with an r x s window over a c-channel h x w output map.
+Node pool(const std::string& name, i64 b, i64 c, i64 h, i64 w, i64 r, i64 s,
+          bool allow_spatial_split = false);
+
+/// Fully connected layer: [b, c] x [c, n] -> [b, n].
+Node fully_connected(const std::string& name, i64 b, i64 n, i64 c);
+
+/// Softmax (+ cross-entropy loss) over n classes. Splitting n all-reduces
+/// the per-row normalizers.
+Node softmax(const std::string& name, i64 b, i64 n);
+
+/// Softmax over vocabulary v applied per (batch, sequence) position.
+Node softmax_seq(const std::string& name, i64 b, i64 s, i64 v);
+
+/// Embedding lookup from a v x d table for b x s tokens. Splitting v shards
+/// the table; per-shard partial outputs are all-reduced.
+Node embedding(const std::string& name, i64 b, i64 s, i64 d, i64 v);
+
+/// Whole RNN/LSTM stack as a single node (paper §IV-A): l layers, seq s,
+/// embed d, hidden e. Splitting l / s exposes the intra-layer pipeline
+/// parallelism the paper describes.
+Node lstm(const std::string& name, i64 l, i64 b, i64 s, i64 d, i64 e);
+
+/// Multi-head attention module (self- or cross-attention): h heads with
+/// query channels c and key/value channels k per head; model dim = h * c.
+/// s_kv is the key/value sequence length (== s for self-attention).
+Node attention(const std::string& name, i64 b, i64 s, i64 h, i64 c, i64 k,
+               i64 s_kv);
+
+/// Transformer position-wise feed-forward: d -> e -> d.
+Node feed_forward(const std::string& name, i64 b, i64 s, i64 d, i64 e);
+
+/// Per-position output projection onto the vocabulary: a [b*s, d] x [d, v]
+/// GEMM (the "FC" rows of Table II with dimensions "bsvd").
+Node projection(const std::string& name, i64 b, i64 s, i64 v, i64 d);
+
+/// Layer normalization over model dim d.
+Node layer_norm(const std::string& name, i64 b, i64 s, i64 d);
+
+/// Batch normalization over a b x c x h x w activation.
+Node batch_norm(const std::string& name, i64 b, i64 c, i64 h, i64 w);
+
+/// Channel-dim concatenation of inception branches; c is the total output
+/// channel count.
+Node concat(const std::string& name, i64 b, i64 c, i64 h, i64 w);
+
+/// Pointwise op (ReLU, residual add, dropout) over a b x c x h x w tensor.
+Node elementwise(const std::string& name, i64 b, i64 c, i64 h, i64 w);
+
+/// Pointwise op over a b x s x d tensor (transformer residual/activation).
+Node elementwise_seq(const std::string& name, i64 b, i64 s, i64 d);
+
+/// Graph input placeholder (no compute, no params).
+Node input(const std::string& name, i64 b, i64 c, i64 h, i64 w);
+
+}  // namespace pase::ops

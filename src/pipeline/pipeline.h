@@ -1,0 +1,68 @@
+// Inter-batch pipeline parallelism composed with PaSE (paper §VI):
+//
+//   "the computation graph can be first split into multiple stages using
+//    the formulation proposed in [PipeDream] to achieve inter-batch
+//    pipeline parallelism, and the subgraphs from each stage can be further
+//    parallelized with data+parameter parallelism using our approach."
+//
+// This module implements that composition. A pipeline partition cuts a
+// fixed topological order of the graph into contiguous stages; each stage
+// gets an equal share of the devices and its subgraph is parallelized by
+// FindBestStrategy. Stage boundaries are chosen by dynamic programming to
+// minimize the pipeline bottleneck (the steady-state step time of a
+// PipeDream-style pipeline is governed by its slowest stage plus the
+// activations it forwards).
+#pragma once
+
+#include <vector>
+
+#include "core/dp_solver.h"
+#include "cost/machine.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace pase {
+
+struct PipelineOptions {
+  /// Stage counts to consider; each must divide the device count. The best
+  /// count (including 1 = no pipeline, pure PaSE) is selected.
+  std::vector<i64> stage_counts = {1, 2, 4};
+  /// Micro-batches in flight; fill/drain overhead multiplies the bottleneck
+  /// by (microbatches + stages - 1) / microbatches.
+  i64 microbatches = 8;
+  /// Per-stage strategy search settings (max_devices is set per stage).
+  DpOptions solver;
+};
+
+struct PipelineStage {
+  std::vector<NodeId> nodes;  ///< original-graph ids, topological order
+  Strategy strategy;          ///< configs indexed like `nodes`
+  double compute_seconds = 0.0;   ///< Eq. (1) cost of the stage / F
+  double transfer_seconds = 0.0;  ///< activations forwarded to the next stage
+  double seconds() const { return compute_seconds + transfer_seconds; }
+};
+
+struct PipelineResult {
+  std::vector<PipelineStage> stages;
+  i64 devices_per_stage = 0;
+  double bottleneck_seconds = 0.0;  ///< slowest stage, steady state
+  /// Estimated per-step time including fill/drain overhead.
+  double step_seconds = 0.0;
+  /// Step time of the best single-stage (pure PaSE) alternative, for
+  /// comparison.
+  double no_pipeline_seconds = 0.0;
+};
+
+/// Partitions `graph` into pipeline stages and parallelizes each stage with
+/// FindBestStrategy, evaluating every requested stage count and returning
+/// the best. The machine's devices are split evenly across stages.
+PipelineResult partition_pipeline(const Graph& graph, const MachineSpec& m,
+                                  const PipelineOptions& options);
+
+/// Builds the subgraph induced by `nodes` (which must be closed under the
+/// original graph's edges in the sense that only edges with both endpoints
+/// inside are kept). `remap[v]` receives the new id of original node v.
+Graph induced_subgraph(const Graph& graph, const std::vector<NodeId>& nodes,
+                       std::vector<NodeId>& remap);
+
+}  // namespace pase

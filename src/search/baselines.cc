@@ -1,0 +1,132 @@
+#include "search/baselines.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pase {
+
+Config make_config(const Node& node,
+                   const std::vector<std::pair<std::string, i64>>& by,
+                   i64 p) {
+  Config c = Config::ones(node.space.rank());
+  i64 budget = p;
+  for (const auto& [name, factor] : by) {
+    const i64 d = node.space.find(name);
+    PASE_CHECK_MSG(d >= 0, "unknown dim in make_config");
+    if (!node.space.dim(d).splittable) continue;
+    i64 f = std::min({factor, node.space.dim(d).size, budget});
+    f = floor_pow2(std::max<i64>(f, 1));
+    c.set(d, static_cast<u16>(f));
+    budget /= f;
+  }
+  return c;
+}
+
+namespace {
+
+/// Out-channel dim of an FC-like node: "n" for plain FC, "v" (vocabulary)
+/// for sequence projections.
+const char* out_channel_dim(const Node& node) {
+  return node.space.find("n") >= 0 ? "n" : "v";
+}
+
+bool has_kind(const Graph& graph, OpKind kind) {
+  for (const Node& n : graph.nodes())
+    if (n.kind == kind) return true;
+  return false;
+}
+
+}  // namespace
+
+Strategy data_parallel_strategy(const Graph& graph, i64 p) {
+  Strategy phi;
+  phi.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (const Node& node : graph.nodes())
+    phi.push_back(node.space.find("b") >= 0
+                      ? make_config(node, {{"b", p}}, p)
+                      : Config::ones(node.space.rank()));
+  return phi;
+}
+
+Strategy owt_strategy(const Graph& graph, i64 p) {
+  Strategy phi;
+  phi.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (const Node& node : graph.nodes()) {
+    switch (node.kind) {
+      case OpKind::kFullyConnected:
+        // Parameter parallelism: out-channel split only (paper §III-C: OWT
+        // "only the out-channel dimension is parallelized").
+        phi.push_back(make_config(node, {{out_channel_dim(node), p}}, p));
+        break;
+      case OpKind::kSoftmax:
+        phi.push_back(make_config(node, {{out_channel_dim(node), p}}, p));
+        break;
+      default:
+        phi.push_back(node.space.find("b") >= 0
+                          ? make_config(node, {{"b", p}}, p)
+                          : Config::ones(node.space.rank()));
+    }
+  }
+  return phi;
+}
+
+Strategy rnn_expert_strategy(const Graph& graph, i64 p) {
+  Strategy phi;
+  phi.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (const Node& node : graph.nodes()) {
+    if (node.kind == OpKind::kLSTM) {
+      const i64 layers = node.space.dim(node.space.find("l")).size;
+      phi.push_back(make_config(node, {{"l", layers}, {"b", p}}, p));
+    } else if (node.space.find("b") >= 0) {
+      phi.push_back(make_config(node, {{"b", p}}, p));
+    } else {
+      phi.push_back(Config::ones(node.space.rank()));
+    }
+  }
+  return phi;
+}
+
+Strategy transformer_expert_strategy(const Graph& graph, i64 p, i64 n) {
+  if (n <= 0) n = p >= 16 ? 4 : 2;
+  n = std::min(n, p);
+  const i64 m = std::max<i64>(1, p / n);
+  Strategy phi;
+  phi.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (const Node& node : graph.nodes()) {
+    switch (node.kind) {
+      case OpKind::kEmbedding:
+        phi.push_back(make_config(node, {{"b", m}, {"v", n}}, p));
+        break;
+      case OpKind::kAttention:
+        phi.push_back(make_config(node, {{"b", m}, {"h", n}}, p));
+        break;
+      case OpKind::kFeedForward:
+        phi.push_back(make_config(node, {{"b", m}, {"e", n}}, p));
+        break;
+      case OpKind::kSoftmax:
+        phi.push_back(make_config(node, {{"b", m}, {"v", n}}, p));
+        break;
+      case OpKind::kFullyConnected:
+        // Final projection: split batch and the out-channel/vocab dim.
+        phi.push_back(
+            make_config(node, {{"b", m}, {out_channel_dim(node), n}}, p));
+        break;
+      default:
+        phi.push_back(node.space.find("b") >= 0
+                          ? make_config(node, {{"b", m}}, p)
+                          : Config::ones(node.space.rank()));
+    }
+  }
+  return phi;
+}
+
+Strategy expert_strategy(const Graph& graph, i64 p) {
+  if (has_kind(graph, OpKind::kLSTM)) return rnn_expert_strategy(graph, p);
+  if (has_kind(graph, OpKind::kAttention))
+    return transformer_expert_strategy(graph, p);
+  if (has_kind(graph, OpKind::kConv2D)) return owt_strategy(graph, p);
+  return data_parallel_strategy(graph, p);
+}
+
+}  // namespace pase

@@ -1,0 +1,43 @@
+// Baseline strategy generators the paper compares against (§IV):
+//  * data parallelism — split every layer's batch dim across all devices;
+//  * expert-designed strategies — OWT for CNNs (Krizhevsky), the GNMT-style
+//    data+pipeline hybrid for RNNs (Wu et al.), and the Mesh-TensorFlow
+//    batch/model-dim hybrid for Transformer (Shazeer et al.).
+#pragma once
+
+#include "config/config_enum.h"
+#include "graph/graph.h"
+
+namespace pase {
+
+/// Splits `node`'s dims by the per-dim factors in `by` (dim-name -> factor);
+/// factors are clamped to powers of two, the dim extent, and the remaining
+/// device budget `p`, in declaration order of `by`. Unlisted dims get 1.
+Config make_config(const Node& node,
+                   const std::vector<std::pair<std::string, i64>>& by, i64 p);
+
+/// Pure data parallelism: every node's batch dim ("b") split p ways (clamped
+/// to its extent); nodes without a batch dim stay serial.
+Strategy data_parallel_strategy(const Graph& graph, i64 p);
+
+/// "One weird trick" (OWT): data parallelism for convolutional/pooling
+/// layers, parameter parallelism (out-channel split) for fully-connected and
+/// softmax layers. Defined for CNN graphs.
+Strategy owt_strategy(const Graph& graph, i64 p);
+
+/// GNMT-style data+pipeline hybrid for RNN LMs: the LSTM stack splits its
+/// layer dim fully (pipeline across layers) and the batch dim across the
+/// remaining devices; embedding/projection/softmax run data-parallel.
+Strategy rnn_expert_strategy(const Graph& graph, i64 p);
+
+/// Mesh-TensorFlow hybrid for Transformer: batch dim m-way and model dims
+/// (vocab, ffn hidden, attention heads) n-way with m*n == p.
+/// n defaults to 4 for p >= 16, else 2.
+Strategy transformer_expert_strategy(const Graph& graph, i64 p, i64 n = 0);
+
+/// Dispatches to the relevant expert strategy by inspecting the graph's
+/// operator mix (LSTM -> RNN expert, attention -> Transformer expert,
+/// conv -> OWT, otherwise data parallelism).
+Strategy expert_strategy(const Graph& graph, i64 p);
+
+}  // namespace pase

@@ -1,0 +1,49 @@
+#include "search/brute_force.h"
+
+#include <limits>
+
+namespace pase {
+
+std::optional<BruteForceResult> brute_force_search(
+    const Graph& graph, const ConfigOptions& config_options,
+    const CostParams& cost_params, u64 max_strategies) {
+  const ConfigCache configs(graph, config_options);
+  const CostModel cost(graph, cost_params);
+  const i64 n = graph.num_nodes();
+
+  double total = 1.0;
+  for (NodeId v = 0; v < n; ++v)
+    total *= static_cast<double>(configs.at(v).size());
+  if (total > static_cast<double>(max_strategies)) return std::nullopt;
+
+  Strategy current(static_cast<size_t>(n));
+  std::vector<u32> odo(static_cast<size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v)
+    current[static_cast<size_t>(v)] = configs.at(v)[0];
+
+  BruteForceResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  for (;;) {
+    const double c = cost.total_cost(current);
+    ++result.strategies_evaluated;
+    if (c < result.best_cost) {
+      result.best_cost = c;
+      result.best_strategy = current;
+    }
+    // Advance the odometer.
+    size_t k = 0;
+    for (; k < odo.size(); ++k) {
+      const auto& list = configs.at(static_cast<NodeId>(k));
+      if (++odo[k] < list.size()) {
+        current[k] = list[odo[k]];
+        break;
+      }
+      odo[k] = 0;
+      current[k] = list[0];
+    }
+    if (k == odo.size()) break;
+  }
+  return result;
+}
+
+}  // namespace pase

@@ -1,0 +1,82 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pase {
+
+double node_memory_bytes(const Node& node, const Config& config,
+                         const MemoryOptions& options) {
+  CostParams params;
+  params.bytes_per_element = options.bytes_per_element;
+  double bytes = 0.0;
+  for (const ParamTensor& p : node.params) {
+    double owners = 1.0;
+    for (i32 d : p.dims) owners *= static_cast<double>(config[d]);
+    bytes += static_cast<double>(p.volume) / owners *
+             options.bytes_per_element * options.parameter_state_copies;
+  }
+  if (node.output.volume > 0) {
+    double splits = 1.0;
+    for (i32 d : node.output.dims) splits *= static_cast<double>(config[d]);
+    bytes += static_cast<double>(node.output.volume) / splits *
+             options.bytes_per_element;
+  }
+  for (const CollectiveComm& c : layer_collectives(node, config, params))
+    bytes += c.bytes;
+  return bytes;
+}
+
+std::function<bool(const Node&, const Config&)> memory_config_filter(
+    double budget_bytes, MemoryOptions options) {
+  return [budget_bytes, options](const Node& node, const Config& config) {
+    return node_memory_bytes(node, config, options) <= budget_bytes;
+  };
+}
+
+MemoryFootprint estimate_memory(const Graph& graph, const Strategy& phi,
+                                const MemoryOptions& options) {
+  PASE_CHECK(static_cast<i64>(phi.size()) == graph.num_nodes());
+  MemoryFootprint fp;
+  CostParams params;  // r is irrelevant for byte volumes
+  params.bytes_per_element = options.bytes_per_element;
+
+  for (const Node& node : graph.nodes()) {
+    const Config& cfg = phi[static_cast<size_t>(node.id)];
+    // Parameter shards: a device holds volume / (product of splits over the
+    // dims indexing the tensor); replicas hold full copies of their shard.
+    for (const ParamTensor& p : node.params) {
+      double owners = 1.0;
+      for (i32 d : p.dims) owners *= static_cast<double>(cfg[d]);
+      fp.parameter_bytes += static_cast<double>(p.volume) / owners *
+                            options.bytes_per_element *
+                            options.parameter_state_copies;
+    }
+    // Communication buffers for internal collectives.
+    for (const CollectiveComm& c : layer_collectives(node, cfg, params))
+      fp.buffer_bytes += c.bytes;
+  }
+
+  // Activations: each edge's tensor shard is held by the consumer until the
+  // backward pass (the need volume |A(v,d,phi)| of §II).
+  for (const Edge& e : graph.edges()) {
+    const Config& cv = phi[static_cast<size_t>(e.dst)];
+    double need = 1.0;
+    for (size_t t = 0; t < e.shape.size(); ++t) {
+      const double extent = static_cast<double>(e.shape[t]);
+      const double split =
+          e.dst_dims[t] >= 0
+              ? std::min(static_cast<double>(cv[e.dst_dims[t]]), extent)
+              : 1.0;
+      need *= extent / split;
+    }
+    fp.activation_bytes += need * options.bytes_per_element;
+    // Staging buffer for the part that has to be fetched.
+    fp.buffer_bytes +=
+        transfer_bytes(e, phi[static_cast<size_t>(e.src)], cv, params) / 2.0;
+  }
+  return fp;
+}
+
+}  // namespace pase

@@ -1,0 +1,51 @@
+// Per-device memory-footprint estimator (paper §II, last paragraph): the
+// footprint is the sum of (i) tensor storage — parameter shards, gradient +
+// optimizer state, and activation shards held for the backward pass — and
+// (ii) communication buffers, proportional to the communication volume the
+// strategy incurs. Minimizing communication therefore also reduces memory,
+// which the ablation bench demonstrates.
+#pragma once
+
+#include <functional>
+
+#include "config/config.h"
+#include "cost/cost_model.h"
+#include "graph/graph.h"
+
+namespace pase {
+
+struct MemoryFootprint {
+  double parameter_bytes = 0.0;   ///< weight shards incl. grads + momentum
+  double activation_bytes = 0.0;  ///< per-edge activation shards (fwd cache)
+  double buffer_bytes = 0.0;      ///< collective/transfer staging buffers
+  double total() const {
+    return parameter_bytes + activation_bytes + buffer_bytes;
+  }
+};
+
+struct MemoryOptions {
+  /// Copies of each parameter shard held per device: weights + gradients +
+  /// optimizer state (e.g. SGD momentum).
+  double parameter_state_copies = 3.0;
+  double bytes_per_element = 4.0;
+};
+
+/// Worst-case (max over devices ~ device 0 under aligned prefix placement)
+/// per-device footprint of strategy `phi`.
+MemoryFootprint estimate_memory(const Graph& graph, const Strategy& phi,
+                                const MemoryOptions& options = {});
+
+/// Per-device bytes a single node contributes under `config`: its parameter
+/// shards (with optimizer state), its output activation shard, and its
+/// internal collective buffers.
+double node_memory_bytes(const Node& node, const Config& config,
+                         const MemoryOptions& options = {});
+
+/// Configuration-admission predicate for ConfigOptions::filter rejecting
+/// configurations whose single-node footprint exceeds `budget_bytes`
+/// (paper §I: replicated parameters make large models untrainable with
+/// data parallelism — those configurations must leave the search space).
+std::function<bool(const Node&, const Config&)> memory_config_filter(
+    double budget_bytes, MemoryOptions options = {});
+
+}  // namespace pase

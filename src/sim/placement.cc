@@ -1,0 +1,161 @@
+#include "sim/placement.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace pase {
+
+i64 device_for_coordinate(const Config& config, const NodePlacement& placement,
+                          const std::vector<i64>& coord) {
+  PASE_CHECK(static_cast<i64>(coord.size()) == config.rank());
+  PASE_CHECK(static_cast<i64>(placement.dim_order.size()) == config.rank());
+  i64 rank = 0;
+  i64 radix = 1;
+  for (i32 d : placement.dim_order) {
+    PASE_CHECK(coord[static_cast<size_t>(d)] >= 0 &&
+               coord[static_cast<size_t>(d)] < config[d]);
+    rank += coord[static_cast<size_t>(d)] * radix;
+    radix *= config[d];
+  }
+  return rank;
+}
+
+namespace {
+
+/// Inverse of device_for_coordinate: grid coordinate owned by `rank`.
+std::vector<i64> coordinate_for_device(const Config& config,
+                                       const NodePlacement& placement,
+                                       i64 rank) {
+  std::vector<i64> coord(static_cast<size_t>(config.rank()), 0);
+  for (i32 d : placement.dim_order) {
+    coord[static_cast<size_t>(d)] = rank % config[d];
+    rank /= config[d];
+  }
+  return coord;
+}
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double length() const { return std::max(0.0, hi - lo); }
+};
+
+Interval block(double extent, i64 splits, i64 index) {
+  const double len = extent / static_cast<double>(splits);
+  return Interval{static_cast<double>(index) * len,
+                  static_cast<double>(index + 1) * len};
+}
+
+Interval intersect(const Interval& a, const Interval& b) {
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+}  // namespace
+
+double locality_score(const Graph& graph, const Strategy& phi,
+                      const Placement& placement) {
+  double score = 0.0;
+  for (const Edge& e : graph.edges()) {
+    const Config& cu = phi[static_cast<size_t>(e.src)];
+    const Config& cv = phi[static_cast<size_t>(e.dst)];
+    const NodePlacement& pu = placement.nodes[static_cast<size_t>(e.src)];
+    const NodePlacement& pv = placement.nodes[static_cast<size_t>(e.dst)];
+    const i64 shared = std::min(cu.degree(), cv.degree());
+    // Both grids are rank bijections; a consumer device r < deg_u overlaps
+    // with exactly the producer block also owned by r (replicas along
+    // unmapped producer dims hold the same block, so the coordinate's
+    // mapped components fully determine it).
+    for (i64 r = 0; r < shared; ++r) {
+      const auto uc = coordinate_for_device(cu, pu, r);
+      const auto vc = coordinate_for_device(cv, pv, r);
+      double overlap = 1.0;
+      for (size_t t = 0; t < e.shape.size(); ++t) {
+        const double extent = static_cast<double>(e.shape[t]);
+        const Interval held =
+            e.src_dims[t] >= 0
+                ? block(extent, cu[e.src_dims[t]],
+                        uc[static_cast<size_t>(e.src_dims[t])])
+                : Interval{0.0, extent};
+        const Interval needed =
+            e.dst_dims[t] >= 0
+                ? block(extent, cv[e.dst_dims[t]],
+                        vc[static_cast<size_t>(e.dst_dims[t])])
+                : Interval{0.0, extent};
+        overlap *= intersect(held, needed).length();
+      }
+      score += overlap;
+    }
+  }
+  return score;
+}
+
+Placement naive_placement(const Graph& graph, const Strategy& phi) {
+  PASE_CHECK(static_cast<i64>(phi.size()) == graph.num_nodes());
+  Placement p;
+  p.nodes.resize(static_cast<size_t>(graph.num_nodes()));
+  for (const Node& n : graph.nodes()) {
+    auto& order = p.nodes[static_cast<size_t>(n.id)].dim_order;
+    for (i64 d = 0; d < n.space.rank(); ++d)
+      order.push_back(static_cast<i32>(d));
+  }
+  return p;
+}
+
+Placement greedy_placement(const Graph& graph, const Strategy& phi) {
+  Placement p = naive_placement(graph, phi);
+  std::vector<bool> placed(static_cast<size_t>(graph.num_nodes()), false);
+
+  // BFS over the (direction-agnostic) graph so every node after the first
+  // has at least one placed neighbor to align with.
+  std::queue<NodeId> queue;
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (placed[static_cast<size_t>(start)]) continue;
+    queue.push(start);
+    placed[static_cast<size_t>(start)] = true;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      const Node& node = graph.node(v);
+
+      // Alignment key per dim: the placement position of the first placed
+      // neighbor's dim it shares a tensor dim with; unshared dims keep a
+      // large key so they vary outermost, after every shared dim.
+      std::vector<i64> key(static_cast<size_t>(node.space.rank()),
+                           node.space.rank() + 1000);
+      for (EdgeId eid : graph.incident_edges(v)) {
+        const Edge& e = graph.edge(eid);
+        const NodeId other = e.src == v ? e.dst : e.src;
+        if (!placed[static_cast<size_t>(other)] || other == v) continue;
+        const auto& mine = e.src == v ? e.src_dims : e.dst_dims;
+        const auto& theirs = e.src == v ? e.dst_dims : e.src_dims;
+        const auto& their_order =
+            p.nodes[static_cast<size_t>(other)].dim_order;
+        for (size_t t = 0; t < mine.size(); ++t) {
+          if (mine[t] < 0 || theirs[t] < 0) continue;
+          const auto pos = std::find(their_order.begin(), their_order.end(),
+                                     theirs[t]) -
+                           their_order.begin();
+          key[static_cast<size_t>(mine[t])] =
+              std::min(key[static_cast<size_t>(mine[t])],
+                       static_cast<i64>(pos));
+        }
+      }
+      auto& order = p.nodes[static_cast<size_t>(v)].dim_order;
+      std::stable_sort(order.begin(), order.end(), [&](i32 a, i32 b) {
+        return key[static_cast<size_t>(a)] < key[static_cast<size_t>(b)];
+      });
+
+      for (NodeId w : graph.neighbors(v)) {
+        if (!placed[static_cast<size_t>(w)]) {
+          placed[static_cast<size_t>(w)] = true;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace pase

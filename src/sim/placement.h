@@ -1,0 +1,56 @@
+// Device placement (paper §II): a parallelization configuration says how to
+// *split* an iteration space but not which device runs which part. The
+// paper uses "a simple greedy assignment that maximizes data locality", i.e.
+// maximizes |A(v,d,phi) n A(u,d,phi)| across edges — equivalently, aligns
+// the sharding decisions of adjacent layers (as GShard does).
+//
+// This module makes that assignment explicit: each node's devices are the
+// rank prefix [0, degree), with its grid laid out so that tensor dims shared
+// with already-placed neighbors vary in the same rank order. It also scores
+// placements so the greedy choice can be verified against alternatives.
+#pragma once
+
+#include <vector>
+
+#include "config/config.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace pase {
+
+/// Placement of one node: the order in which its iteration-space dims vary
+/// across device ranks (innermost first). The devices used are always the
+/// rank prefix [0, degree).
+struct NodePlacement {
+  std::vector<i32> dim_order;  ///< permutation of the split dims, innermost
+                               ///< (fastest-varying) first
+};
+
+struct Placement {
+  std::vector<NodePlacement> nodes;  ///< indexed by NodeId
+};
+
+/// Device rank that owns grid coordinate `coord` (one entry per
+/// iteration-space dim) under `placement` of a node with configuration
+/// `config`. Ranks are assigned innermost-first along `dim_order`.
+i64 device_for_coordinate(const Config& config, const NodePlacement& placement,
+                          const std::vector<i64>& coord);
+
+/// Total data-locality score of a placement: the summed per-edge overlap
+/// volume between what each consumer device needs and what it already holds
+/// from the producer (higher is better). Evaluated exactly by enumerating
+/// device grids, so intended for verification and small graphs.
+double locality_score(const Graph& graph, const Strategy& phi,
+                      const Placement& placement);
+
+/// Greedy locality-maximizing placement (paper §II): process nodes in a
+/// BFS order; for each node, order its split dims so that dims shared
+/// (through tensor maps) with already-placed neighbors keep the neighbor's
+/// rank order, making shared-dim shards land on the same ranks.
+Placement greedy_placement(const Graph& graph, const Strategy& phi);
+
+/// Baseline for comparison: every node lays its dims out in declaration
+/// order, ignoring neighbors.
+Placement naive_placement(const Graph& graph, const Strategy& phi);
+
+}  // namespace pase

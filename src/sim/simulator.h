@@ -1,0 +1,89 @@
+// Discrete-event training-step simulator — the stand-in for the paper's
+// Mesh-TensorFlow runs on 1080Ti/2080Ti clusters (Fig. 6).
+//
+// Model:
+//  * Devices are ranked 0..p-1, `devices_per_node` per host. Under the
+//    greedy aligned placement of §II, a node with parallel degree g runs on
+//    the device prefix 0..g-1, with grid coordinates laid out consistently
+//    across layers (which is what makes the closed-form t_x overlap valid).
+//  * Layers execute in topological order. A layer starts when (a) all its
+//    input tensors have arrived and (b) the devices it uses are free; it
+//    occupies them for compute + internal-collective time. Independent
+//    branches overlap only to the extent they use disjoint device prefixes.
+//  * Communication time = bytes / bandwidth + latency, with intra-node
+//    (PCIe) bandwidth when the participating group fits inside one host and
+//    inter-node (InfiniBand) bandwidth otherwise. The 2080Ti profile's
+//    missing peer-to-peer support shows up as a low intra-node bandwidth.
+//
+// Absolute times are approximate; Fig. 6 only needs the *relative* step
+// times of strategies on the same machine, which this model preserves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/config.h"
+#include "cost/cost_model.h"
+#include "cost/machine.h"
+#include "graph/graph.h"
+
+namespace pase {
+
+struct SimResult {
+  double step_time_s = 0.0;     ///< one forward+backward+update step
+  double compute_time_s = 0.0;  ///< device-0 busy time spent computing
+  double comm_time_s = 0.0;     ///< device-0 busy time spent communicating
+  /// Throughput in steps/s.
+  double steps_per_second() const { return 1.0 / step_time_s; }
+};
+
+/// One simulated layer execution, for timeline inspection.
+struct TraceEvent {
+  std::string name;
+  double start_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  i64 degree = 1;  ///< devices occupied
+};
+
+struct SimTrace {
+  std::vector<TraceEvent> events;  ///< topological order
+};
+
+/// Renders a trace in the Chrome trace-event JSON format (load in
+/// chrome://tracing or Perfetto; compute and communication phases appear
+/// as separate slices).
+std::string to_chrome_trace_json(const SimTrace& trace);
+
+class Simulator {
+ public:
+  Simulator(const Graph& graph, MachineSpec machine);
+
+  /// Simulates one training step under `phi`; optionally records the
+  /// per-layer timeline.
+  SimResult simulate(const Strategy& phi, SimTrace* trace = nullptr) const;
+
+  /// step_time(baseline) / step_time(phi): the Fig. 6 y-axis with
+  /// baseline = data parallelism.
+  double speedup(const Strategy& phi, const Strategy& baseline) const {
+    return simulate(baseline).step_time_s / simulate(phi).step_time_s;
+  }
+
+  const MachineSpec& machine() const { return machine_; }
+
+ private:
+  /// Point-to-point / halo / transfer time for per-device `bytes` over the
+  /// link class implied by the group size.
+  double transfer_time(double bytes, i64 group) const;
+  /// NCCL-style hierarchical all-reduce of a `volume`-byte shard across
+  /// `group` devices: intra-node ring, then an inter-node ring over the
+  /// volume sharded across the node's devices.
+  double all_reduce_time(double volume, i64 group) const;
+
+  const Graph* graph_;
+  MachineSpec machine_;
+  CostParams params_;
+  std::vector<NodeId> topo_order_;
+};
+
+}  // namespace pase

@@ -1,0 +1,116 @@
+// Dynamic bitset used for vertex-set operations in the ordering and
+// dependent-set machinery. DNN graphs have a few hundred nodes, so set
+// union/intersection over 64-bit words is far cheaper than sorted vectors.
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace pase {
+
+/// A fixed-universe dynamic bitset over [0, size).
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(i64 size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  i64 size() const { return size_; }
+
+  bool test(i64 i) const {
+    PASE_CHECK(i >= 0 && i < size_);
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1u;
+  }
+
+  void set(i64 i) {
+    PASE_CHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] |= (u64{1} << (i & 63));
+  }
+
+  void reset(i64 i) {
+    PASE_CHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] &= ~(u64{1} << (i & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  i64 count() const {
+    i64 c = 0;
+    for (u64 w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  bool any() const {
+    for (u64 w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  Bitset& operator|=(const Bitset& o) {
+    PASE_CHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  Bitset& operator&=(const Bitset& o) {
+    PASE_CHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  /// Set difference: remove all bits present in o.
+  Bitset& operator-=(const Bitset& o) {
+    PASE_CHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator-(Bitset a, const Bitset& b) { return a -= b; }
+
+  bool operator==(const Bitset& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+
+  bool intersects(const Bitset& o) const {
+    PASE_CHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<i64> to_vector() const {
+    std::vector<i64> out;
+    out.reserve(static_cast<size_t>(count()));
+    for (i64 i = 0; i < size_; ++i)
+      if (test(i)) out.push_back(i);
+    return out;
+  }
+
+  /// Iterate set bits ascending; f(i64 index).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      u64 word = words_[w];
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        f(static_cast<i64>(w * 64 + static_cast<size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  i64 size_ = 0;
+  std::vector<u64> words_;
+};
+
+}  // namespace pase

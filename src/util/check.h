@@ -1,0 +1,31 @@
+// Lightweight runtime contract checks (always on, independent of NDEBUG).
+//
+// Following the C++ Core Guidelines (I.6/E.12), precondition violations are
+// programming errors: we print a diagnostic and abort rather than throwing,
+// since no caller can meaningfully recover from a broken invariant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pase::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PASE_CHECK failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pase::detail
+
+#define PASE_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::pase::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PASE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::pase::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,41 @@
+// Hash utilities: combine, range hashing. Used to key DP substrategy tables.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pase {
+
+/// Boost-style hash combine with 64-bit mixing.
+inline u64 hash_combine(u64 seed, u64 v) {
+  // splitmix64 finalizer for good avalanche behaviour.
+  v += 0x9e3779b97f4a7c15ull + seed;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+/// Hash a contiguous range of trivially hashable integers.
+template <typename T>
+u64 hash_range(const T* data, size_t n) {
+  u64 h = 0x2545f4914f6cdd1dull;
+  for (size_t i = 0; i < n; ++i) h = hash_combine(h, static_cast<u64>(data[i]));
+  return h;
+}
+
+template <typename T>
+u64 hash_vector(const std::vector<T>& v) {
+  return hash_range(v.data(), v.size());
+}
+
+/// std::hash adaptor for vectors of integers.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    return static_cast<size_t>(hash_vector(v));
+  }
+};
+
+}  // namespace pase

@@ -1,0 +1,58 @@
+// Deterministic seedable RNG used by the MCMC search and property tests.
+#pragma once
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace pase {
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms
+/// (std::mt19937 distributions are not portable across standard libraries).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  u64 uniform(u64 n) {
+    PASE_CHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (~u64{0} - n + 1) % n;
+    for (;;) {
+      const u64 r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+}  // namespace pase

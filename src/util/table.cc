@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pase {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::to_string() const {
+  // Compute column widths.
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<size_t> width(ncols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  account(header_);
+  for (const auto& r : rows_)
+    if (!r.rule) account(r.cells);
+
+  std::ostringstream os;
+  auto emit_rule = [&] {
+    os << '+';
+    for (size_t i = 0; i < ncols; ++i) {
+      for (size_t j = 0; j < width[i] + 2; ++j) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto emit_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << c;
+      for (size_t j = c.size(); j < width[i] + 1; ++j) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  emit_rule();
+  if (!header_.empty()) {
+    emit_cells(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.rule)
+      emit_rule();
+    else
+      emit_cells(r.cells);
+  }
+  emit_rule();
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace pase

@@ -1,0 +1,35 @@
+// Minimal ASCII table printer used by the benchmark harness to emit the
+// paper's tables in a readable, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pase {
+
+class TextTable {
+ public:
+  /// Optional title printed above the table.
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Horizontal separator row.
+  void add_rule();
+
+  /// Render with column widths fit to content.
+  std::string to_string() const;
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace pase

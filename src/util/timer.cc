@@ -1,0 +1,21 @@
+#include "util/timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pase {
+
+std::string format_mins_secs(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const i64 total_ms = static_cast<i64>(std::llround(seconds * 1000.0));
+  const i64 mins = total_ms / 60000;
+  const i64 secs = (total_ms % 60000) / 1000;
+  const i64 ms = total_ms % 1000;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld.%03lld",
+                static_cast<long long>(mins), static_cast<long long>(secs),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace pase

@@ -1,0 +1,36 @@
+// Wall-clock timer and the paper's mins:secs.msecs duration formatting
+// (Table I reports times like "0:14.398" and "31:23.187").
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "util/types.h"
+
+namespace pase {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  i64 elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format seconds as "M:SS.mmm" matching the paper's Table I unit.
+std::string format_mins_secs(double seconds);
+
+}  // namespace pase

@@ -1,0 +1,31 @@
+// Fundamental integer aliases and small helpers used across PaSE.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pase {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Integer ceiling division for non-negative operands.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(i64 x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Largest power of two <= x (x >= 1).
+constexpr i64 floor_pow2(i64 x) {
+  i64 r = 1;
+  while (r * 2 <= x) r *= 2;
+  return r;
+}
+
+}  // namespace pase

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/machine.h"
+#include "models/models.h"
+#include "ops/ops.h"
+#include "search/baselines.h"
+#include "test_util.h"
+
+namespace pase {
+namespace {
+
+CostParams unit_params() {
+  CostParams p;
+  p.r = 1.0;
+  return p;
+}
+
+TEST(RingAllReduce, Formula) {
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(100.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(100.0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(100.0, 4), 150.0);
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(0.0, 8), 0.0);
+}
+
+TEST(LayerCost, SerialConfigIsPureCompute) {
+  const Node fc = ops::fully_connected("f", 8, 16, 32);
+  const CostParams p = unit_params();
+  const double cost = layer_cost(fc, Config::ones(3), p);
+  EXPECT_DOUBLE_EQ(cost, fc.fwd_flops() * (1.0 + p.bwd_flops_multiplier));
+}
+
+TEST(LayerCost, ComputeDividesByDegree) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  const CostParams p = unit_params();
+  EXPECT_DOUBLE_EQ(layer_flops(fc, Config{4, 1, 1}, p),
+                   layer_flops(fc, Config::ones(3), p) / 4.0);
+}
+
+TEST(LayerCost, DataParallelPaysGradientAllReduce) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  CostParams p = unit_params();
+  p.gradient_comm_discount = 1.0;
+  const Config dp{8, 1, 1};
+  const auto comms = layer_collectives(fc, dp, p);
+  ASSERT_EQ(comms.size(), 2u);  // weight + bias gradients
+  EXPECT_EQ(comms[0].kind, CollectiveComm::Kind::kGradientAllReduce);
+  EXPECT_EQ(comms[0].group, 8);
+  EXPECT_DOUBLE_EQ(comms[0].bytes,
+                   ring_all_reduce_bytes(64.0 * 64 * 4, 8));
+  // The full layer cost includes r x those bytes.
+  const double expected = layer_flops(fc, dp, p) +
+                          p.r * (comms[0].bytes + comms[1].bytes);
+  EXPECT_DOUBLE_EQ(layer_cost(fc, dp, p), expected);
+}
+
+TEST(LayerCost, ParameterSplitAvoidsGradientSync) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  // Splitting n and c shards every parameter: no replicas, no gradient sync.
+  const auto comms = layer_collectives(fc, Config{1, 4, 1}, unit_params());
+  for (const auto& c : comms)
+    EXPECT_NE(c.kind, CollectiveComm::Kind::kGradientAllReduce);
+}
+
+TEST(LayerCost, ReductionSplitPaysPartialSumAllReduce) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  const CostParams p = unit_params();
+  const auto comms = layer_collectives(fc, Config{1, 1, 8}, p);
+  bool found = false;
+  for (const auto& c : comms)
+    if (c.kind == CollectiveComm::Kind::kReduceAllReduce) {
+      found = true;
+      EXPECT_EQ(c.group, 8);
+      // Output shard = full output (output dims unsplit), both directions.
+      EXPECT_DOUBLE_EQ(
+          c.bytes, p.fwd_bwd_comm_multiplier *
+                       ring_all_reduce_bytes(64.0 * 64 * 4, 8));
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(LayerCost, HaloOnlyWhenSpatialSplit) {
+  const Node conv =
+      ops::conv2d("c", 8, 16, 32, 32, 16, 3, 3, /*allow_spatial_split=*/true);
+  const CostParams p = unit_params();
+  auto has_halo = [&](const Config& c) {
+    for (const auto& comm : layer_collectives(conv, c, p))
+      if (comm.kind == CollectiveComm::Kind::kHaloExchange) return true;
+    return false;
+  };
+  EXPECT_FALSE(has_halo(Config{8, 1, 1, 1, 1, 1, 1}));
+  EXPECT_TRUE(has_halo(Config{1, 1, 4, 1, 1, 1, 1}));
+}
+
+TEST(LayerCost, GradientDiscountApplies) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  CostParams full = unit_params();
+  full.gradient_comm_discount = 1.0;
+  CostParams half = unit_params();
+  half.gradient_comm_discount = 0.5;
+  const Config dp{8, 1, 1};
+  const double grad_bytes =
+      layer_cost(fc, dp, full) - layer_flops(fc, dp, full);
+  EXPECT_NEAR(layer_cost(fc, dp, half),
+              layer_flops(fc, dp, half) + 0.5 * grad_bytes, 1e-6);
+}
+
+TEST(TransferBytes, ZeroWhenAligned) {
+  Graph g;
+  g.add_node(ops::fully_connected("a", 64, 64, 64));
+  g.add_node(ops::fully_connected("b", 64, 64, 64));
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", "c"});
+  const CostParams p = unit_params();
+  // Producer splits (b=4, n=2); consumer needs (b=4, c=2): aligned.
+  EXPECT_DOUBLE_EQ(
+      transfer_bytes(g.edge(0), Config{4, 2, 1}, Config{4, 1, 2}, p), 0.0);
+  // Identical data-parallel configs are aligned too.
+  EXPECT_DOUBLE_EQ(
+      transfer_bytes(g.edge(0), Config{8, 1, 1}, Config{8, 1, 1}, p), 0.0);
+}
+
+TEST(TransferBytes, MismatchCostsNeedMinusOverlap) {
+  Graph g;
+  g.add_node(ops::fully_connected("a", 64, 64, 64));
+  g.add_node(ops::fully_connected("b", 64, 64, 64));
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", "c"});
+  const CostParams p = unit_params();
+  // Producer data-parallel (b=8); consumer splits c=8: consumer needs
+  // 64*(64/8), holds overlap 64/8 * 64/8.
+  const double need = 64.0 * 8;
+  const double overlap = 8.0 * 8;
+  EXPECT_DOUBLE_EQ(
+      transfer_bytes(g.edge(0), Config{8, 1, 1}, Config{1, 1, 8}, p),
+      (need - overlap) * p.bytes_per_element * p.fwd_bwd_comm_multiplier);
+}
+
+TEST(TransferBytes, DirectionAgnostic) {
+  // Paper footnote 2: t_x(u,v,phi) = t_x(v,u,phi). Swapping the roles of
+  // the two endpoints (shape and dim maps mirrored) gives the same cost
+  // when need equals on both sides; here both need the full tensor slices.
+  Graph g;
+  g.add_node(ops::fully_connected("a", 64, 64, 64));
+  g.add_node(ops::fully_connected("b", 64, 64, 64));
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", "c"});
+  g.add_edge_named(1, 0, {"b", "c"}, {"b", "n"});
+  const CostParams p = unit_params();
+  const Config c0{4, 2, 1}, c1{2, 1, 4};
+  EXPECT_DOUBLE_EQ(transfer_bytes(g.edge(0), c0, c1, p),
+                   transfer_bytes(g.edge(1), c1, c0, p));
+}
+
+TEST(TransferBytes, UnmappedConsumerDimNeedsFullExtent) {
+  Graph g;
+  g.add_node(ops::fully_connected("a", 64, 64, 64));
+  g.add_node(ops::fully_connected("b", 64, 64, 64));
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", ""}, {64, 64});
+  const CostParams p = unit_params();
+  // Forward: consumer needs all of n even though the producer split it.
+  const double fwd_need = 64.0 / 8 * 64;
+  const double overlap = 64.0 / 8 * 64 / 8;
+  // Backward: the producer side (degree 64) is wider than the consumer
+  // (degree 8), so some of its devices hold none of the gradient: full need.
+  const double bwd_need = 64.0 / 8 * 64 / 8;
+  EXPECT_DOUBLE_EQ(
+      transfer_bytes(g.edge(0), Config{8, 8, 1}, Config{8, 1, 1}, p),
+      ((fwd_need - overlap) + bwd_need) * p.bytes_per_element);
+}
+
+TEST(TransferBytes, SplitClampedByExtent) {
+  Graph g;
+  g.add_node(ops::fully_connected("a", 64, 64, 64));
+  g.add_node(ops::fully_connected("b", 64, 64, 64));
+  // Tensor dim of extent 2 mapped to dims that may be split 8 ways.
+  g.add_edge(0, 1, {2}, {0}, {0});
+  const CostParams p = unit_params();
+  const double bytes =
+      transfer_bytes(g.edge(0), Config{8, 1, 1}, Config{1, 1, 1}, p);
+  // Need = 2, overlap = 2/min(8,2) = 1.
+  EXPECT_DOUBLE_EQ(bytes, (2.0 - 1.0) * p.bytes_per_element *
+                              p.fwd_bwd_comm_multiplier);
+}
+
+TEST(CostModel, EvaluateBreakdownSums) {
+  const Graph g = models::alexnet();
+  const CostModel cm(g, unit_params());
+  const Strategy phi = data_parallel_strategy(g, 8);
+  const CostBreakdown b = cm.evaluate(phi);
+  EXPECT_GT(b.layer, 0.0);
+  EXPECT_GE(b.transfer, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), b.layer + b.transfer);
+  EXPECT_DOUBLE_EQ(cm.total_cost(phi), b.total());
+}
+
+class DeltaCostSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DeltaCostSweep, DeltaMatchesFullReevaluation) {
+  const Graph g = testing::random_graph(6, 3, GetParam());
+  ConfigOptions copts;
+  copts.max_devices = 8;
+  const ConfigCache cache(g, copts);
+  CostParams params = unit_params();
+  params.r = 100.0;
+  const CostModel cm(g, params);
+  Rng rng(GetParam() * 77 + 1);
+
+  Strategy phi;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    phi.push_back(cache.at(v)[rng.uniform(cache.at(v).size())]);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId v =
+        static_cast<NodeId>(rng.uniform(static_cast<u64>(g.num_nodes())));
+    const Config next = cache.at(v)[rng.uniform(cache.at(v).size())];
+    const double before = cm.total_cost(phi);
+    const double delta = cm.delta_cost(phi, v, next);
+    Strategy changed = phi;
+    changed[static_cast<size_t>(v)] = next;
+    const double after = cm.total_cost(changed);
+    EXPECT_NEAR(delta, after - before, 1e-6 * (1.0 + std::abs(after)));
+    phi = changed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaCostSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Machine, FlopToByteRatio) {
+  MachineSpec m;
+  m.peak_flops = 10e12;
+  m.link_bandwidth = 5e9;
+  EXPECT_DOUBLE_EQ(m.flop_to_byte_ratio(), 2000.0);
+}
+
+TEST(Machine, PresetsAreSane) {
+  const MachineSpec a = MachineSpec::gtx1080ti(32);
+  const MachineSpec b = MachineSpec::rtx2080ti(32);
+  EXPECT_EQ(a.num_devices, 32);
+  EXPECT_EQ(b.num_devices, 32);
+  // The paper's key observation: the 2080Ti system has a much lower machine
+  // balance (higher FLOPs per byte of bandwidth).
+  EXPECT_GT(b.flop_to_byte_ratio(), 2.0 * a.flop_to_byte_ratio());
+  EXPECT_GT(b.peak_flops, a.peak_flops);
+  EXPECT_LT(b.intra_bw(), a.intra_bw());
+}
+
+TEST(Machine, CostParamsInheritMachineKnobs) {
+  const MachineSpec m = MachineSpec::rtx2080ti(8);
+  const CostParams p = CostParams::for_machine(m);
+  EXPECT_DOUBLE_EQ(p.r, m.flop_to_byte_ratio() * m.compute_efficiency);
+  EXPECT_DOUBLE_EQ(p.gradient_comm_discount, m.gradient_comm_discount);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "core/dp_solver.h"
+#include "core/strategy.h"
+#include "models/models.h"
+#include "search/baselines.h"
+#include "search/brute_force.h"
+#include "test_util.h"
+
+namespace pase {
+namespace {
+
+DpOptions options_for(i64 p, OrderingKind ord = OrderingKind::kGenerateSeq) {
+  DpOptions opt;
+  opt.config_options.max_devices = p;
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(p));
+  opt.ordering = ord;
+  return opt;
+}
+
+// ---- Theorem 1 end-to-end: the DP optimum equals the brute-force optimum.
+
+struct OptimalityCase {
+  i64 nodes;
+  i64 extra_edges;
+  u64 seed;
+  i64 p;
+};
+
+class OptimalitySweep : public ::testing::TestWithParam<OptimalityCase> {};
+
+TEST_P(OptimalitySweep, DpMatchesBruteForce) {
+  const auto& c = GetParam();
+  const Graph g = testing::random_graph(c.nodes, c.extra_edges, c.seed);
+  const DpOptions opt = options_for(c.p);
+  const DpResult dp = find_best_strategy(g, opt);
+  ASSERT_EQ(dp.status, DpStatus::kOk);
+  const auto bf =
+      brute_force_search(g, opt.config_options, opt.cost_params);
+  ASSERT_TRUE(bf.has_value());
+  EXPECT_NEAR(dp.best_cost, bf->best_cost, 1e-6 * bf->best_cost);
+  // The extracted strategy achieves the reported cost under Eq. (1).
+  const CostModel cm(g, opt.cost_params);
+  EXPECT_NEAR(cm.total_cost(dp.strategy), dp.best_cost,
+              1e-6 * dp.best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, OptimalitySweep,
+    ::testing::Values(OptimalityCase{3, 1, 1, 4}, OptimalityCase{4, 2, 2, 4},
+                      OptimalityCase{5, 2, 3, 4}, OptimalityCase{5, 3, 4, 2},
+                      OptimalityCase{6, 2, 5, 2}, OptimalityCase{6, 4, 6, 2},
+                      OptimalityCase{4, 0, 7, 8}, OptimalityCase{5, 1, 8, 4},
+                      OptimalityCase{6, 0, 9, 4},
+                      OptimalityCase{7, 3, 10, 2}));
+
+TEST(DpSolver, MatchesBruteForceOnFig2ToyGraph) {
+  const Graph g = testing::fig2_toy_graph();
+  const DpOptions opt = options_for(2);  // 4^9 strategies: exhaustible
+  const DpResult dp = find_best_strategy(g, opt);
+  const auto bf =
+      brute_force_search(g, opt.config_options, opt.cost_params);
+  ASSERT_TRUE(bf.has_value());
+  EXPECT_NEAR(dp.best_cost, bf->best_cost, 1e-6 * bf->best_cost);
+}
+
+TEST(DpSolver, MatchesBruteForceOnMlp) {
+  const Graph g = models::mlp(16, {64, 64, 32, 32});
+  const DpOptions opt = options_for(4);
+  const DpResult dp = find_best_strategy(g, opt);
+  const auto bf =
+      brute_force_search(g, opt.config_options, opt.cost_params);
+  ASSERT_TRUE(bf.has_value());
+  EXPECT_NEAR(dp.best_cost, bf->best_cost, 1e-6 * bf->best_cost);
+}
+
+// ---- Ordering invariance: recurrence (4)'s optimum is the same for any
+// ordering (Theorem 1 holds for every sequence V).
+
+class OrderingInvarianceSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(OrderingInvarianceSweep, BothOrderingsAgree) {
+  const Graph g = testing::random_graph(8, 3, GetParam());
+  const DpResult gs =
+      find_best_strategy(g, options_for(4, OrderingKind::kGenerateSeq));
+  const DpResult bf =
+      find_best_strategy(g, options_for(4, OrderingKind::kBreadthFirst));
+  ASSERT_EQ(gs.status, DpStatus::kOk);
+  ASSERT_EQ(bf.status, DpStatus::kOk);
+  EXPECT_NEAR(gs.best_cost, bf.best_cost, 1e-6 * gs.best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingInvarianceSweep,
+                         ::testing::Range<u64>(1, 9));
+
+TEST(DpSolver, OrderingsAgreeOnAlexNet) {
+  const Graph g = models::alexnet();
+  const double a =
+      find_best_strategy(g, options_for(8, OrderingKind::kGenerateSeq))
+          .best_cost;
+  const double b =
+      find_best_strategy(g, options_for(8, OrderingKind::kBreadthFirst))
+          .best_cost;
+  EXPECT_NEAR(a, b, 1e-6 * a);
+}
+
+// ---- Strategy quality and validity.
+
+class BenchmarkSweep
+    : public ::testing::TestWithParam<std::tuple<int, i64>> {};
+
+TEST_P(BenchmarkSweep, StrategyValidAndBeatsBaselines) {
+  const auto benchmarks = models::paper_benchmarks();
+  const auto& bench = benchmarks[static_cast<size_t>(
+      std::get<0>(GetParam()))];
+  const i64 p = std::get<1>(GetParam());
+  const DpOptions opt = options_for(p);
+  const DpResult dp = find_best_strategy(bench.graph, opt);
+  ASSERT_EQ(dp.status, DpStatus::kOk) << bench.name;
+  EXPECT_TRUE(strategy_valid(bench.graph, dp.strategy, opt.config_options))
+      << bench.name;
+
+  const CostModel cm(bench.graph, opt.cost_params);
+  EXPECT_NEAR(cm.total_cost(dp.strategy), dp.best_cost, 1e-6 * dp.best_cost);
+  // The optimum can be no worse than any strategy in the space — in
+  // particular data parallelism and the expert strategies (paper Fig. 6).
+  const double eps = 1e-9;
+  EXPECT_LE(dp.best_cost,
+            cm.total_cost(data_parallel_strategy(bench.graph, p)) *
+                (1 + eps));
+  EXPECT_LE(dp.best_cost,
+            cm.total_cost(expert_strategy(bench.graph, p)) * (1 + eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelsTimesP, BenchmarkSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values<i64>(4, 8,
+                                                                   16)));
+
+TEST(DpSolver, Deterministic) {
+  const Graph g = models::transformer();
+  const DpResult a = find_best_strategy(g, options_for(8));
+  const DpResult b = find_best_strategy(g, options_for(8));
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  ASSERT_EQ(a.strategy.size(), b.strategy.size());
+  for (size_t i = 0; i < a.strategy.size(); ++i)
+    EXPECT_EQ(a.strategy[i], b.strategy[i]);
+}
+
+TEST(DpSolver, SingleDeviceFindsSerialStrategy) {
+  const Graph g = models::alexnet();
+  const DpResult dp = find_best_strategy(g, options_for(1));
+  ASSERT_EQ(dp.status, DpStatus::kOk);
+  for (const Config& c : dp.strategy) EXPECT_EQ(c.degree(), 1);
+}
+
+TEST(DpSolver, SingleNodeGraph) {
+  Graph g;
+  g.add_node(ops::fully_connected("only", 64, 64, 64));
+  const DpResult dp = find_best_strategy(g, options_for(8));
+  ASSERT_EQ(dp.status, DpStatus::kOk);
+  EXPECT_GT(dp.best_cost, 0.0);
+  EXPECT_GT(dp.strategy[0].degree(), 1);  // splitting must pay off here
+}
+
+// ---- OOM guard (Table I's BF column).
+
+TEST(DpSolver, BreadthFirstOomsOnInception) {
+  const Graph g = models::inception_v3();
+  const DpResult r =
+      find_best_strategy(g, options_for(8, OrderingKind::kBreadthFirst));
+  EXPECT_EQ(r.status, DpStatus::kOutOfMemory);
+}
+
+TEST(DpSolver, BreadthFirstOomsOnTransformer) {
+  const Graph g = models::transformer();
+  auto opt = options_for(8, OrderingKind::kBreadthFirst);
+  opt.max_table_entries = 1 << 16;  // keep the failing run short
+  const DpResult r = find_best_strategy(g, opt);
+  EXPECT_EQ(r.status, DpStatus::kOutOfMemory);
+}
+
+TEST(DpSolver, GenerateSeqSucceedsWhereBreadthFirstOoms) {
+  const Graph g = models::inception_v3();
+  EXPECT_EQ(find_best_strategy(g, options_for(8)).status, DpStatus::kOk);
+}
+
+TEST(DpSolver, TinyGuardTripsEvenWithGenerateSeq) {
+  const Graph g = models::inception_v3();
+  auto opt = options_for(8);
+  opt.max_combinations = 10;
+  EXPECT_EQ(find_best_strategy(g, opt).status, DpStatus::kOutOfMemory);
+}
+
+// ---- Diagnostics.
+
+TEST(DpSolver, ReportsDependentSetSizes) {
+  const Graph g = models::inception_v3();
+  const DpResult r = find_best_strategy(g, options_for(8));
+  ASSERT_EQ(static_cast<i64>(r.dependent_set_sizes.size()), g.num_nodes());
+  i64 m = 0;
+  for (i64 s : r.dependent_set_sizes) m = std::max(m, s);
+  EXPECT_EQ(m, r.max_dependent_set);
+  EXPECT_LE(m, 2);  // paper §III-C: |D(i) u {v}| <= 3
+}
+
+TEST(DpSolver, ReportsKAndWork) {
+  const Graph g = models::alexnet();
+  const DpResult r = find_best_strategy(g, options_for(8));
+  EXPECT_GT(r.max_configs, 1);
+  EXPECT_GT(r.max_combinations_analyzed, 0u);
+  EXPECT_GE(r.elapsed_seconds, 0.0);
+}
+
+TEST(DpSolver, CostDecreasesWithMoreDevices) {
+  const Graph g = models::alexnet();
+  double prev = std::numeric_limits<double>::infinity();
+  for (i64 p : {1LL, 2LL, 4LL, 8LL, 16LL}) {
+    const double c = find_best_strategy(g, options_for(p)).best_cost;
+    EXPECT_LE(c, prev * (1 + 1e-9)) << "p=" << p;
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "ops/ops.h"
+#include "test_util.h"
+
+namespace pase {
+namespace {
+
+Graph two_fc() {
+  Graph g;
+  g.add_node(ops::fully_connected("A", 8, 16, 32));
+  g.add_node(ops::fully_connected("B", 8, 4, 16));
+  return g;
+}
+
+TEST(IterSpace, BasicAccessors) {
+  const IterSpace s({{"b", 8, true}, {"n", 16, true}, {"c", 32, false}});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.volume(), 8 * 16 * 32);
+  EXPECT_EQ(s.find("n"), 1);
+  EXPECT_EQ(s.find("zz"), -1);
+  EXPECT_EQ(s.names(), "bnc");
+  EXPECT_FALSE(s.dim(2).splittable);
+}
+
+TEST(Graph, AddNodeAssignsIds) {
+  Graph g = two_fc();
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.node(0).id, 0);
+  EXPECT_EQ(g.node(1).id, 1);
+  EXPECT_EQ(g.node(0).name, "A");
+}
+
+TEST(Graph, AddEdgeBuildsAdjacency) {
+  Graph g = two_fc();
+  const EdgeId e = g.add_edge(0, 1, {8, 16}, {0, 1}, {0, 2});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).volume(), 8 * 16);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(Graph, ParallelEdgesDeduplicateNeighbors) {
+  Graph g = two_fc();
+  g.add_edge(0, 1, {8, 16}, {0, 1}, {0, 2});
+  g.add_edge(0, 1, {8, 16}, {0, 1}, {0, 2});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 1);  // neighbor list deduplicated
+  EXPECT_EQ(g.incident_edges(0).size(), 2u);
+}
+
+TEST(Graph, AddEdgeNamedResolvesDims) {
+  Graph g = two_fc();
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", "c"});
+  const Edge& e = g.edge(0);
+  EXPECT_EQ(e.shape, (std::vector<i64>{8, 16}));
+  EXPECT_EQ(e.src_dims, (std::vector<i32>{0, 1}));
+  EXPECT_EQ(e.dst_dims, (std::vector<i32>{0, 2}));
+}
+
+TEST(Graph, AddEdgeNamedUnmappedDims) {
+  Graph g = two_fc();
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", ""}, {8, 16});
+  EXPECT_EQ(g.edge(0).dst_dims[1], -1);
+}
+
+TEST(Graph, NeighborSetMatchesNeighbors) {
+  Graph g = testing::fig2_toy_graph();
+  const Bitset nb = g.neighbor_set(4);  // paper's v5
+  EXPECT_EQ(nb.count(), g.degree(4));
+  for (NodeId n : g.neighbors(4)) EXPECT_TRUE(nb.test(n));
+}
+
+TEST(Graph, WeaklyConnected) {
+  Graph g = two_fc();
+  EXPECT_FALSE(g.weakly_connected());
+  g.add_edge_named(0, 1, {"b", "n"}, {"b", "c"});
+  EXPECT_TRUE(g.weakly_connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(g.weakly_connected());
+}
+
+TEST(Graph, Fig2ToyGraphStructure) {
+  Graph g = testing::fig2_toy_graph();
+  EXPECT_EQ(g.num_nodes(), 9);
+  EXPECT_EQ(g.num_edges(), 8);
+  EXPECT_TRUE(g.weakly_connected());
+  // Paper's v5 (node 4) neighbors: v2, v3, v8.
+  EXPECT_EQ(g.degree(4), 3);
+}
+
+TEST(Graph, OpKindNames) {
+  EXPECT_STREQ(op_kind_name(OpKind::kConv2D), "Conv2D");
+  EXPECT_STREQ(op_kind_name(OpKind::kFullyConnected), "FC");
+  EXPECT_STREQ(op_kind_name(OpKind::kLSTM), "LSTM");
+  EXPECT_STREQ(op_kind_name(OpKind::kAttention), "Attention");
+}
+
+TEST(Graph, RandomGraphIsConnectedAndValid) {
+  for (u64 seed : {1u, 2u, 3u, 4u}) {
+    Graph g = testing::random_graph(7, 3, seed);
+    EXPECT_EQ(g.num_nodes(), 7);
+    EXPECT_TRUE(g.weakly_connected());
+  }
+}
+
+TEST(Graph, NodeParamVolume) {
+  const Node fc = ops::fully_connected("f", 8, 16, 32);
+  EXPECT_EQ(fc.param_volume(), 16 * 32 + 16);
+}
+
+}  // namespace
+}  // namespace pase

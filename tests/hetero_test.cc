@@ -1,0 +1,78 @@
+// Heterogeneous-cluster support (paper §V): the analytical model prices
+// compute at the weakest device; the simulator uses true per-device peaks.
+#include <gtest/gtest.h>
+
+#include "core/dp_solver.h"
+#include "models/models.h"
+#include "search/baselines.h"
+#include "sim/simulator.h"
+
+namespace pase {
+namespace {
+
+TEST(Heterogeneous, HomogeneousMachineIsUnchanged) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  EXPECT_DOUBLE_EQ(m.weakest_flops(), m.peak_flops);
+  EXPECT_DOUBLE_EQ(m.prefix_weakest_flops(4), m.peak_flops);
+  EXPECT_DOUBLE_EQ(m.flops_of(7), m.peak_flops);
+}
+
+TEST(Heterogeneous, MixedClusterAccessors) {
+  const MachineSpec m = MachineSpec::mixed_cluster(8, 0.5);
+  EXPECT_DOUBLE_EQ(m.flops_of(0), m.peak_flops);
+  EXPECT_DOUBLE_EQ(m.flops_of(7), m.peak_flops * 0.5);
+  EXPECT_DOUBLE_EQ(m.weakest_flops(), m.peak_flops * 0.5);
+  // The fast half occupies the rank prefix.
+  EXPECT_DOUBLE_EQ(m.prefix_weakest_flops(4), m.peak_flops);
+  EXPECT_DOUBLE_EQ(m.prefix_weakest_flops(8), m.peak_flops * 0.5);
+}
+
+TEST(Heterogeneous, CostParamsUseWeakestDevice) {
+  const MachineSpec m = MachineSpec::mixed_cluster(8, 0.5);
+  const CostParams p = CostParams::for_machine(m);
+  EXPECT_DOUBLE_EQ(
+      p.r, m.peak_flops * 0.5 / m.link_bandwidth * m.compute_efficiency);
+}
+
+TEST(Heterogeneous, SimulatorSlowsDownOnWidePrefixes) {
+  // A layer using only the fast prefix runs at full speed; one spanning
+  // the slow half is bottlenecked by it.
+  const Graph g = models::mlp(64, {256, 256});
+  const MachineSpec fast = MachineSpec::gtx1080ti(8);
+  const MachineSpec mixed = MachineSpec::mixed_cluster(8, 0.5);
+  const Strategy wide = data_parallel_strategy(g, 8);
+  const Strategy narrow = data_parallel_strategy(g, 4);
+  // Compare pure compute time (the step may be communication-dominated).
+  const double slowdown_wide =
+      Simulator(g, mixed).simulate(wide).compute_time_s /
+      Simulator(g, fast).simulate(wide).compute_time_s;
+  const double slowdown_narrow =
+      Simulator(g, mixed).simulate(narrow).compute_time_s /
+      Simulator(g, fast).simulate(narrow).compute_time_s;
+  EXPECT_NEAR(slowdown_wide, 2.0, 1e-9);    // hits the 0.5x devices
+  EXPECT_NEAR(slowdown_narrow, 1.0, 1e-9);  // stays on the fast prefix
+}
+
+TEST(Heterogeneous, SolverStillBeatsDataParallelism) {
+  const MachineSpec m = MachineSpec::mixed_cluster(16, 0.6);
+  for (const auto& bench : models::paper_benchmarks()) {
+    DpOptions opt;
+    opt.config_options.max_devices = 16;
+    opt.cost_params = CostParams::for_machine(m);
+    const DpResult r = find_best_strategy(bench.graph, opt);
+    ASSERT_EQ(r.status, DpStatus::kOk) << bench.name;
+    const CostModel cm(bench.graph, opt.cost_params);
+    EXPECT_LE(r.best_cost,
+              cm.total_cost(data_parallel_strategy(bench.graph, 16)) *
+                  (1 + 1e-9))
+        << bench.name;
+  }
+}
+
+TEST(Heterogeneous, FlopsOfChecksBounds) {
+  const MachineSpec m = MachineSpec::mixed_cluster(4);
+  EXPECT_DOUBLE_EQ(m.flops_of(3), m.peak_flops * 0.6);
+}
+
+}  // namespace
+}  // namespace pase

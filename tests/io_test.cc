@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/dp_solver.h"
+#include "io/strategy_io.h"
+#include "models/models.h"
+#include "search/baselines.h"
+
+namespace pase {
+namespace {
+
+TEST(StrategyIo, RoundTripDataParallel) {
+  const Graph g = models::alexnet();
+  const Strategy phi = data_parallel_strategy(g, 8);
+  const ReadResult r = read_strategy(g, write_strategy(g, phi));
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.strategy.size(), phi.size());
+  for (size_t i = 0; i < phi.size(); ++i) EXPECT_EQ(r.strategy[i], phi[i]);
+}
+
+TEST(StrategyIo, RoundTripSolverOutputForAllBenchmarks) {
+  for (const auto& bench : models::paper_benchmarks()) {
+    DpOptions opt;
+    opt.config_options.max_devices = 8;
+    opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(8));
+    const DpResult dp = find_best_strategy(bench.graph, opt);
+    ASSERT_EQ(dp.status, DpStatus::kOk);
+    const ReadResult r =
+        read_strategy(bench.graph, write_strategy(bench.graph, dp.strategy));
+    ASSERT_TRUE(r.ok) << bench.name << ": " << r.error;
+    for (size_t i = 0; i < dp.strategy.size(); ++i)
+      EXPECT_EQ(r.strategy[i], dp.strategy[i]) << bench.name;
+  }
+}
+
+TEST(StrategyIo, FormatIsStable) {
+  const Graph g = models::mlp(8, {16, 4});
+  const Strategy phi = {Config{8, 1, 1}, Config{2, 4}};
+  EXPECT_EQ(write_strategy(g, phi),
+            "pase-strategy v1\n"
+            "node FC1 dims bnc config 8,1,1\n"
+            "node Softmax dims bn config 2,4\n");
+}
+
+TEST(StrategyIo, IgnoresCommentsAndBlankLines) {
+  const Graph g = models::mlp(8, {16, 4});
+  const ReadResult r = read_strategy(g,
+                                     "pase-strategy v1\n"
+                                     "# a comment\n"
+                                     "\n"
+                                     "node FC1 dims bnc config 8,1,1\n"
+                                     "node Softmax dims bn config 2,4\n");
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(StrategyIo, RejectsMissingHeader) {
+  const Graph g = models::mlp(8, {16, 4});
+  EXPECT_FALSE(read_strategy(g, "node FC1 dims bnc config 1,1,1\n").ok);
+}
+
+TEST(StrategyIo, RejectsUnknownNode) {
+  const Graph g = models::mlp(8, {16, 4});
+  const ReadResult r = read_strategy(g,
+                                     "pase-strategy v1\n"
+                                     "node Nope dims bnc config 1,1,1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown node"), std::string::npos);
+}
+
+TEST(StrategyIo, RejectsDimSignatureMismatch) {
+  const Graph g = models::mlp(8, {16, 4});
+  const ReadResult r = read_strategy(g,
+                                     "pase-strategy v1\n"
+                                     "node FC1 dims xyz config 1,1,1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("dim signature mismatch"), std::string::npos);
+}
+
+TEST(StrategyIo, RejectsRankMismatch) {
+  const Graph g = models::mlp(8, {16, 4});
+  const ReadResult r = read_strategy(g,
+                                     "pase-strategy v1\n"
+                                     "node FC1 dims bnc config 1,1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("rank mismatch"), std::string::npos);
+}
+
+TEST(StrategyIo, RejectsMissingNode) {
+  const Graph g = models::mlp(8, {16, 4});
+  const ReadResult r = read_strategy(g,
+                                     "pase-strategy v1\n"
+                                     "node FC1 dims bnc config 1,1,1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("missing record"), std::string::npos);
+}
+
+TEST(StrategyIo, RejectsDuplicateRecord) {
+  const Graph g = models::mlp(8, {16, 4});
+  const ReadResult r = read_strategy(g,
+                                     "pase-strategy v1\n"
+                                     "node FC1 dims bnc config 1,1,1\n"
+                                     "node FC1 dims bnc config 2,1,1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(StrategyIo, RejectsBadFactors) {
+  const Graph g = models::mlp(8, {16, 4});
+  for (const char* cfg : {"0,1,1", "x,1,1", "-2,1,1", "1,1,1,1,1,1,1,1,1"}) {
+    const ReadResult r = read_strategy(
+        g, std::string("pase-strategy v1\nnode FC1 dims bnc config ") + cfg +
+               "\nnode Softmax dims bn config 1,1\n");
+    EXPECT_FALSE(r.ok) << cfg;
+  }
+}
+
+TEST(StrategyIo, RejectsEmptyInput) {
+  const Graph g = models::mlp(8, {16, 4});
+  EXPECT_FALSE(read_strategy(g, "").ok);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,93 @@
+// Memory-constrained strategy search (paper §I motivation: data parallelism
+// replicates parameters, making large models untrainable; the search space
+// must exclude over-budget configurations).
+#include <gtest/gtest.h>
+
+#include "core/dp_solver.h"
+#include "models/models.h"
+#include "ops/ops.h"
+#include "search/baselines.h"
+#include "sim/memory.h"
+
+namespace pase {
+namespace {
+
+DpOptions options_with_cap(i64 p, double cap_bytes) {
+  DpOptions opt;
+  opt.config_options.max_devices = p;
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(p));
+  if (cap_bytes > 0)
+    opt.config_options.filter = memory_config_filter(cap_bytes);
+  return opt;
+}
+
+TEST(NodeMemory, DataParallelReplicatesParameters) {
+  const Node fc = ops::fully_connected("f", 64, 4096, 4096);
+  const MemoryOptions mo;
+  const double dp = node_memory_bytes(fc, Config{8, 1, 1}, mo);
+  const double pp = node_memory_bytes(fc, Config{1, 4, 2}, mo);
+  // Parameter parallelism shards the 4096^2 weights 8 ways.
+  EXPECT_GT(dp, 4.0 * pp);
+}
+
+TEST(NodeMemory, IncludesActivationAndBuffers) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  const double serial = node_memory_bytes(fc, Config::ones(3));
+  const double params = (64.0 * 64 + 64) * 4 * 3;  // weights+bias, 3 copies
+  const double act = 64.0 * 64 * 4;
+  EXPECT_DOUBLE_EQ(serial, params + act);  // serial: no comm buffers
+  EXPECT_GT(node_memory_bytes(fc, Config{8, 1, 1}), 0.0);
+}
+
+TEST(MemoryCap, FilterRejectsOverBudgetConfigs) {
+  const Node fc = ops::fully_connected("f", 64, 4096, 4096);
+  // Budget below the replicated-parameter footprint.
+  const auto filter =
+      memory_config_filter(node_memory_bytes(fc, Config{1, 4, 2}) * 1.5);
+  EXPECT_TRUE(filter(fc, Config{1, 4, 2}));
+  EXPECT_FALSE(filter(fc, Config{8, 1, 1}));
+}
+
+TEST(MemoryCap, SolverRespectsBudget) {
+  const Graph g = models::rnnlm(64, 40, 1024, 2048, 262144);  // big vocab
+  const i64 p = 16;
+  // Budget chosen so the (replicated) 262k x 2048 projection table cannot
+  // fit, but sharded layouts can.
+  const double cap = 1.5e9;
+  const DpResult r = find_best_strategy(g, options_with_cap(p, cap));
+  ASSERT_EQ(r.status, DpStatus::kOk);
+  for (const Node& n : g.nodes())
+    EXPECT_LE(node_memory_bytes(n, r.strategy[static_cast<size_t>(n.id)]),
+              cap)
+        << n.name;
+  // The per-device total also lands under a per-device budget of that
+  // order, while data parallelism cannot fit at all.
+  EXPECT_GT(estimate_memory(g, data_parallel_strategy(g, p)).total(),
+            2.0 * cap);
+}
+
+TEST(MemoryCap, InfeasibleWhenNothingFits) {
+  const Graph g = models::rnnlm();
+  const DpResult r = find_best_strategy(g, options_with_cap(8, 1.0));
+  EXPECT_EQ(r.status, DpStatus::kInfeasible);
+}
+
+TEST(MemoryCap, CapCanOnlyRaiseTheOptimum) {
+  const Graph g = models::alexnet();
+  const DpResult free = find_best_strategy(g, options_with_cap(8, 0));
+  const DpResult capped =
+      find_best_strategy(g, options_with_cap(8, 100e6));
+  ASSERT_EQ(free.status, DpStatus::kOk);
+  ASSERT_EQ(capped.status, DpStatus::kOk);
+  EXPECT_GE(capped.best_cost, free.best_cost * (1 - 1e-9));
+}
+
+TEST(MemoryCap, UnfilteredSearchUnchanged) {
+  const Graph g = models::alexnet();
+  const DpResult a = find_best_strategy(g, options_with_cap(8, 0));
+  const DpResult b = find_best_strategy(g, options_with_cap(8, 1e18));
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/dp_solver.h"
+#include "io/model_parser.h"
+
+namespace pase {
+namespace {
+
+constexpr const char* kTinyModel =
+    "pase-model v1\n"
+    "model tiny\n"
+    "batch 32\n"
+    "node fc1 fc n=64 c=16\n"
+    "node fc2 fc n=8 c=64\n"
+    "node sm softmax n=8\n"
+    "edge fc1 fc2 b:b n:c\n"
+    "edge fc2 sm b:b n:n\n";
+
+TEST(ModelParser, ParsesTinyModel) {
+  const ModelParseResult r = parse_model(kTinyModel);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.name, "tiny");
+  EXPECT_EQ(r.graph.num_nodes(), 3);
+  EXPECT_EQ(r.graph.num_edges(), 2);
+  EXPECT_EQ(r.graph.node(0).kind, OpKind::kFullyConnected);
+  EXPECT_EQ(r.graph.node(0).space.dim(0).size, 32);  // batch directive
+  EXPECT_EQ(r.graph.node(0).space.dim(1).size, 64);
+}
+
+TEST(ModelParser, ParsedModelIsSolvable) {
+  const ModelParseResult r = parse_model(kTinyModel);
+  ASSERT_TRUE(r.ok) << r.error;
+  DpOptions opt;
+  opt.config_options.max_devices = 4;
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(4));
+  EXPECT_EQ(find_best_strategy(r.graph, opt).status, DpStatus::kOk);
+}
+
+TEST(ModelParser, SupportsAllOps) {
+  const char* text =
+      "pase-model v1\n"
+      "batch 8\n"
+      "node a conv2d c=3 h=8 w=8 n=16 r=3 s=3\n"
+      "node b dwconv c=16 h=8 w=8 r=3 s=3\n"
+      "node c pool c=16 h=4 w=4 r=2 s=2\n"
+      "node d batchnorm c=16 h=4 w=4\n"
+      "node e elementwise c=16 h=4 w=4\n"
+      "node f concat c=16 h=4 w=4\n"
+      "node g fc n=8 c=256\n"
+      "node h softmax n=8\n"
+      "node i embedding s=4 d=8 v=100\n"
+      "node j lstm l=2 s=4 d=8 e=8\n"
+      "node k attention s=4 heads=2 qk=4\n"
+      "node l ffn s=4 d=8 e=16\n"
+      "node m layernorm s=4 d=8\n"
+      "node n elementwise_seq s=4 d=8\n"
+      "node o projection s=4 v=100 d=8\n"
+      "node p softmax_seq s=4 v=100\n"
+      // Wire everything into one connected graph.
+      "edge a b b:b n:c h:h w:w\n"
+      "edge b c b:b c:c h:h w:w\n"
+      "edge c d b:b c:c h:h w:w\n"
+      "edge d e b:b c:c h:h w:w\n"
+      "edge e f b:b c:c h:h w:w\n"
+      "edge f g b:b c:c h:- w:-\n"
+      "edge g h b:b n:n\n"
+      "edge i j b:b s:s d:d\n"
+      "edge j k b:b s:s e:-\n"
+      "edge k m b:b s:s h:d c:-\n"
+      "edge m l b:b s:s d:d\n"
+      "edge l n b:b s:s d:d\n"
+      "edge n o b:b s:s d:d\n"
+      "edge o p b:b s:s v:v\n"
+      "edge h p b:b n:-\n";  // bridge the two halves
+  const ModelParseResult r = parse_model(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.graph.num_nodes(), 16);
+}
+
+TEST(ModelParser, PerNodeBatchOverride) {
+  const ModelParseResult r = parse_model(
+      "pase-model v1\nbatch 32\n"
+      "node a fc b=4 n=8 c=8\nnode b softmax n=8\nedge a b b:b n:n\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.graph.node(0).space.dim(0).size, 4);
+}
+
+TEST(ModelParser, RejectsMissingHeader) {
+  EXPECT_FALSE(parse_model("node a fc n=1 c=1\n").ok);
+  EXPECT_FALSE(parse_model("").ok);
+}
+
+TEST(ModelParser, RejectsUnknownOp) {
+  const auto r = parse_model("pase-model v1\nnode a warp n=1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown op"), std::string::npos);
+}
+
+TEST(ModelParser, RejectsMissingKey) {
+  const auto r = parse_model("pase-model v1\nnode a fc n=8\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("missing required key 'c'"), std::string::npos);
+}
+
+TEST(ModelParser, RejectsUnknownKey) {
+  const auto r = parse_model("pase-model v1\nnode a fc n=8 c=8 zz=1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown key 'zz'"), std::string::npos);
+}
+
+TEST(ModelParser, RejectsBadEdges) {
+  const char* prefix =
+      "pase-model v1\nnode a fc n=8 c=8\nnode b softmax n=8\n";
+  EXPECT_FALSE(parse_model(std::string(prefix) + "edge a zz b:b\n").ok);
+  EXPECT_FALSE(parse_model(std::string(prefix) + "edge a b\n").ok);
+  EXPECT_FALSE(parse_model(std::string(prefix) + "edge a b q:n\n").ok);
+  EXPECT_FALSE(parse_model(std::string(prefix) + "edge a b -:n\n").ok);
+  EXPECT_FALSE(parse_model(std::string(prefix) + "edge a b bn\n").ok);
+}
+
+TEST(ModelParser, RejectsDisconnectedModel) {
+  const auto r = parse_model(
+      "pase-model v1\nnode a fc n=8 c=8\nnode b softmax n=8\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("connected"), std::string::npos);
+}
+
+TEST(ModelParser, RejectsDuplicateNode) {
+  const auto r = parse_model(
+      "pase-model v1\nnode a fc n=8 c=8\nnode a fc n=8 c=8\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(ModelParser, CommentsAndBlankLinesIgnored) {
+  const ModelParseResult r = parse_model(
+      "pase-model v1\n\n# comment\nnode a fc n=8 c=8  # trailing\n"
+      "node b softmax n=8\nedge a b b:b n:n\n");
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace
+}  // namespace pase

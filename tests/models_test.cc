@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "models/models.h"
+
+namespace pase {
+namespace {
+
+TEST(Models, AlexNetShape) {
+  const Graph g = models::alexnet();
+  EXPECT_EQ(g.num_nodes(), 12);  // 5 conv + 3 pool + 3 FC + softmax
+  EXPECT_TRUE(g.weakly_connected());
+  // Path graph: every node has at most 2 neighbors.
+  for (const Node& n : g.nodes()) EXPECT_LE(g.degree(n.id), 2) << n.name;
+}
+
+TEST(Models, AlexNetLayerMix) {
+  const Graph g = models::alexnet();
+  i64 conv = 0, fc = 0, pool = 0, sm = 0;
+  for (const Node& n : g.nodes()) {
+    conv += n.kind == OpKind::kConv2D;
+    fc += n.kind == OpKind::kFullyConnected;
+    pool += n.kind == OpKind::kPool;
+    sm += n.kind == OpKind::kSoftmax;
+  }
+  EXPECT_EQ(conv, 5);
+  EXPECT_EQ(fc, 3);
+  EXPECT_EQ(pool, 3);
+  EXPECT_EQ(sm, 1);
+}
+
+TEST(Models, InceptionV3SizeMatchesPaper) {
+  // Paper §III-C: 218 nodes, 206 of degree < 5 and 12 of degree >= 5. Our
+  // builder (conv+BN blocks, standard module mix) lands within a few nodes.
+  const Graph g = models::inception_v3();
+  EXPECT_GE(g.num_nodes(), 200);
+  EXPECT_LE(g.num_nodes(), 235);
+  EXPECT_TRUE(g.weakly_connected());
+}
+
+TEST(Models, InceptionV3SparsityProfile) {
+  const Graph g = models::inception_v3();
+  i64 low = 0, high = 0;
+  for (const Node& n : g.nodes())
+    (g.degree(n.id) < 5 ? low : high) += 1;
+  // Mostly sparse with a few dense spots (the property GenerateSeq exploits).
+  EXPECT_GE(low, g.num_nodes() * 9 / 10);
+  EXPECT_GE(high, 5);
+  EXPECT_LE(high, 20);
+}
+
+TEST(Models, InceptionV3HasHighDegreeConcats) {
+  const Graph g = models::inception_v3();
+  i64 max_degree = 0;
+  for (const Node& n : g.nodes())
+    max_degree = std::max(max_degree, g.degree(n.id));
+  EXPECT_GE(max_degree, 6);  // InceptionE concat has 6 inputs + 1 output
+}
+
+TEST(Models, RnnlmIsFourNodePath) {
+  const Graph g = models::rnnlm();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.node(1).kind, OpKind::kLSTM);
+  for (const Node& n : g.nodes()) EXPECT_LE(g.degree(n.id), 2);
+}
+
+TEST(Models, RnnlmCustomShapes) {
+  const Graph g = models::rnnlm(32, 20, 512, 1024, 10000, 3);
+  const Node& lstm = g.node(1);
+  EXPECT_EQ(lstm.space.dim(0).size, 3);   // layers
+  EXPECT_EQ(lstm.space.dim(1).size, 32);  // batch
+  EXPECT_EQ(lstm.space.dim(4).size, 1024);
+}
+
+TEST(Models, TransformerStructure) {
+  const Graph g = models::transformer();
+  EXPECT_TRUE(g.weakly_connected());
+  i64 attn = 0, ffn = 0, emb = 0;
+  for (const Node& n : g.nodes()) {
+    attn += n.kind == OpKind::kAttention;
+    ffn += n.kind == OpKind::kFeedForward;
+    emb += n.kind == OpKind::kEmbedding;
+  }
+  EXPECT_EQ(attn, 6 + 12);  // 6 encoder self + 6 decoder self + 6 cross
+  EXPECT_EQ(ffn, 12);
+  EXPECT_EQ(emb, 2);
+}
+
+TEST(Models, TransformerEncoderOutputHasLongLiveRange) {
+  // Paper §IV-A: the encoder output is a high-degree vertex feeding every
+  // decoder cross-attention.
+  const Graph g = models::transformer();
+  i64 max_degree = 0;
+  for (const Node& n : g.nodes())
+    if (n.kind == OpKind::kLayerNorm)
+      max_degree = std::max(max_degree, g.degree(n.id));
+  EXPECT_GE(max_degree, 7);  // 6 cross-attentions + local wiring
+}
+
+TEST(Models, TransformerScalesWithLayers) {
+  const Graph small = models::transformer(64, 128, 512, 8, 2048, 32000, 2);
+  const Graph big = models::transformer(64, 128, 512, 8, 2048, 32000, 6);
+  EXPECT_LT(small.num_nodes(), big.num_nodes());
+  EXPECT_TRUE(small.weakly_connected());
+}
+
+TEST(Models, DenseNetIsDense) {
+  const Graph g = models::densenet(32, 2, 6, 32);
+  EXPECT_TRUE(g.weakly_connected());
+  i64 max_degree = 0;
+  for (const Node& n : g.nodes())
+    max_degree = std::max(max_degree, g.degree(n.id));
+  EXPECT_GE(max_degree, 6);  // transition fed by the whole block
+}
+
+TEST(Models, MlpChain) {
+  const Graph g = models::mlp(8, {16, 32, 8});
+  EXPECT_EQ(g.num_nodes(), 3);  // two FCs + softmax
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Models, PaperBenchmarksRegistry) {
+  const auto v = models::paper_benchmarks();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].name, "AlexNet");
+  EXPECT_EQ(v[1].name, "InceptionV3");
+  EXPECT_EQ(v[2].name, "RNNLM");
+  EXPECT_EQ(v[3].name, "Transformer");
+  for (const auto& b : v) EXPECT_TRUE(b.graph.weakly_connected());
+}
+
+TEST(Models, BatchSizePropagates) {
+  const Graph g = models::alexnet(256);
+  for (const Node& n : g.nodes()) {
+    const i64 b = n.space.find("b");
+    ASSERT_GE(b, 0) << n.name;
+    EXPECT_EQ(n.space.dim(b).size, 256) << n.name;
+  }
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "ops/ops.h"
+
+namespace pase {
+namespace {
+
+TEST(Ops, Conv2DIterationSpace) {
+  const Node n = ops::conv2d("c", 128, 3, 55, 55, 96, 11, 11);
+  EXPECT_EQ(n.space.names(), "bchwnrs");
+  EXPECT_EQ(n.space.volume(), 128LL * 3 * 55 * 55 * 96 * 11 * 11);
+  EXPECT_EQ(n.kind, OpKind::kConv2D);
+}
+
+TEST(Ops, Conv2DFlops) {
+  const Node n = ops::conv2d("c", 2, 4, 8, 8, 16, 3, 3);
+  // 2 FLOPs per MAC over b*c*h*w*n*r*s points.
+  EXPECT_DOUBLE_EQ(n.fwd_flops(), 2.0 * 2 * 4 * 8 * 8 * 16 * 3 * 3);
+}
+
+TEST(Ops, Conv2DParamsAndReductions) {
+  const Node n = ops::conv2d("c", 2, 4, 8, 8, 16, 3, 3);
+  ASSERT_EQ(n.params.size(), 2u);
+  EXPECT_EQ(n.params[0].volume, 4 * 16 * 3 * 3);  // weights
+  EXPECT_EQ(n.params[1].volume, 16);              // bias
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{1, 5, 6}));
+  EXPECT_EQ(n.output.volume, 2 * 16 * 8 * 8);
+}
+
+TEST(Ops, Conv2DHalos) {
+  const Node n = ops::conv2d("c", 2, 4, 8, 8, 16, 5, 3);
+  ASSERT_EQ(n.halos.size(), 2u);
+  EXPECT_EQ(n.halos[0].dim, 2);
+  EXPECT_EQ(n.halos[0].width, 2);  // (5-1)/2
+  EXPECT_EQ(n.halos[1].dim, 3);
+  EXPECT_EQ(n.halos[1].width, 1);  // (3-1)/2
+}
+
+TEST(Ops, OneByOneConvHasNoHalo) {
+  EXPECT_TRUE(ops::conv2d("c", 2, 4, 8, 8, 16, 1, 1).halos.empty());
+}
+
+TEST(Ops, PoolHasNoParams) {
+  const Node n = ops::pool("p", 2, 4, 8, 8, 3, 3);
+  EXPECT_TRUE(n.params.empty());
+  EXPECT_TRUE(n.reduction_dims.empty());
+  EXPECT_EQ(n.space.names(), "bchwrs");
+}
+
+TEST(Ops, FullyConnected) {
+  const Node n = ops::fully_connected("f", 128, 4096, 9216);
+  EXPECT_EQ(n.space.names(), "bnc");
+  EXPECT_DOUBLE_EQ(n.fwd_flops(), 2.0 * 128 * 4096 * 9216);
+  EXPECT_EQ(n.params[0].volume, 4096LL * 9216);
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{2}));
+  EXPECT_EQ(n.output.volume, 128 * 4096);
+}
+
+TEST(Ops, SoftmaxReducesOverClasses) {
+  const Node n = ops::softmax("s", 128, 1000);
+  EXPECT_EQ(n.space.names(), "bn");
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{1}));
+  EXPECT_EQ(n.output.volume, 128);  // per-row normalizers
+}
+
+TEST(Ops, SoftmaxSeqSequenceNotSplittable) {
+  const Node n = ops::softmax_seq("s", 64, 40, 32768);
+  EXPECT_EQ(n.space.names(), "bsv");
+  EXPECT_FALSE(n.space.dim(1).splittable);
+}
+
+TEST(Ops, EmbeddingMovesBsdElements) {
+  const Node n = ops::embedding("e", 64, 40, 1024, 32768);
+  EXPECT_EQ(n.space.names(), "bsdv");
+  // Total FLOPs (copy cost) must be independent of the vocab size.
+  EXPECT_NEAR(n.fwd_flops(), 64.0 * 40 * 1024, 1e-3);
+  EXPECT_EQ(n.params[0].volume, 32768LL * 1024);
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{3}));
+}
+
+TEST(Ops, LstmFiveDimensionalSpace) {
+  // Paper §IV-A: layer, batch, sequence, embed, hidden — all splittable so
+  // configurations can exploit intra-layer pipeline parallelism.
+  const Node n = ops::lstm("l", 2, 64, 40, 1024, 2048);
+  EXPECT_EQ(n.space.names(), "lbsde");
+  for (i64 d = 0; d < n.space.rank(); ++d)
+    EXPECT_TRUE(n.space.dim(d).splittable);
+  EXPECT_EQ(n.params[0].volume, 2LL * 4 * (1024 * 2048 + 2048 * 2048));
+}
+
+TEST(Ops, LstmFlopsMatchGateGemms) {
+  const i64 l = 2, b = 4, s = 8, d = 16, e = 32;
+  const Node n = ops::lstm("l", l, b, s, d, e);
+  const double want = 2.0 * 4 * (static_cast<double>(l) * b * s * d * e +
+                                 static_cast<double>(l) * b * s * e * e);
+  EXPECT_NEAR(n.fwd_flops(), want, want * 1e-9);
+}
+
+TEST(Ops, AttentionSpaceAndParams) {
+  const Node n = ops::attention("a", 64, 128, 8, 64, 64, 128);
+  EXPECT_EQ(n.space.names(), "bshck");
+  EXPECT_FALSE(n.space.dim(1).splittable);  // s
+  EXPECT_FALSE(n.space.dim(3).splittable);  // c
+  EXPECT_TRUE(n.space.dim(2).splittable);   // heads
+  EXPECT_EQ(n.params[0].volume, 4LL * 512 * 512);  // Wq,Wk,Wv,Wo
+}
+
+TEST(Ops, AttentionFlopsScale) {
+  // Projections dominate: ~8*b*s*D^2 plus 4*b*s*s_kv*D.
+  const i64 b = 2, s = 16, h = 4, c = 8, k = 8;
+  const Node n = ops::attention("a", b, s, h, c, k, s);
+  const double D = h * c;
+  const double want = 8.0 * b * s * D * D + 4.0 * b * s * s * D;
+  EXPECT_NEAR(n.fwd_flops(), want, want * 1e-9);
+}
+
+TEST(Ops, FeedForward) {
+  const Node n = ops::feed_forward("f", 64, 128, 512, 2048);
+  EXPECT_EQ(n.space.names(), "bsde");
+  EXPECT_DOUBLE_EQ(n.fwd_flops(), 4.0 * 64 * 128 * 512 * 2048);
+  EXPECT_EQ(n.params[0].volume, 2LL * 512 * 2048);
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{2, 3}));
+}
+
+TEST(Ops, Projection) {
+  const Node n = ops::projection("p", 64, 40, 32768, 2048);
+  EXPECT_EQ(n.space.names(), "bsvd");
+  EXPECT_EQ(n.kind, OpKind::kFullyConnected);
+  EXPECT_EQ(n.params[0].volume, 32768LL * 2048);
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{3}));
+}
+
+TEST(Ops, LayerNormAndBatchNorm) {
+  const Node ln = ops::layer_norm("ln", 64, 128, 512);
+  EXPECT_EQ(ln.space.names(), "bsd");
+  EXPECT_EQ(ln.params[0].volume, 2 * 512);
+  const Node bn = ops::batch_norm("bn", 32, 64, 8, 8);
+  EXPECT_EQ(bn.space.names(), "bchw");
+  EXPECT_EQ(bn.reduction_dims, (std::vector<i32>{0, 2, 3}));
+}
+
+TEST(Ops, ConcatIsFree) {
+  const Node n = ops::concat("cc", 32, 256, 35, 35);
+  EXPECT_DOUBLE_EQ(n.fwd_flops(), 0.0);
+  EXPECT_TRUE(n.params.empty());
+}
+
+TEST(Ops, ElementwiseVariants) {
+  EXPECT_EQ(ops::elementwise("e", 2, 3, 4, 5).space.names(), "bchw");
+  EXPECT_EQ(ops::elementwise_seq("e", 2, 3, 4).space.names(), "bsd");
+  EXPECT_EQ(ops::input("i", 2, 3, 4, 5).kind, OpKind::kInput);
+}
+
+TEST(Ops, ImagePointwiseSpatialDimsNotSplittable) {
+  for (const Node& n :
+       {ops::batch_norm("b", 2, 3, 4, 5), ops::concat("c", 2, 3, 4, 5),
+        ops::elementwise("e", 2, 3, 4, 5), ops::input("i", 2, 3, 4, 5)}) {
+    EXPECT_FALSE(n.space.dim(2).splittable) << n.name;
+    EXPECT_FALSE(n.space.dim(3).splittable) << n.name;
+    EXPECT_TRUE(n.space.dim(0).splittable) << n.name;
+    EXPECT_TRUE(n.space.dim(1).splittable) << n.name;
+  }
+}
+
+}  // namespace
+}  // namespace pase

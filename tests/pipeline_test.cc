@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/models.h"
+#include "pipeline/pipeline.h"
+#include "search/baselines.h"
+
+namespace pase {
+namespace {
+
+PipelineOptions popts(const MachineSpec& m, std::vector<i64> stage_counts) {
+  PipelineOptions o;
+  o.stage_counts = std::move(stage_counts);
+  o.solver.cost_params = CostParams::for_machine(m);
+  return o;
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph g = models::alexnet();
+  std::vector<NodeId> remap;
+  const Graph sub = induced_subgraph(g, {0, 1, 2}, remap);
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);  // conv1-pool1, pool1-conv2
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[3], kInvalidNode);
+  EXPECT_EQ(sub.node(1).name, g.node(1).name);
+}
+
+TEST(InducedSubgraph, DisconnectedPieceIsFine) {
+  const Graph g = models::alexnet();
+  std::vector<NodeId> remap;
+  const Graph sub = induced_subgraph(g, {0, 5}, remap);  // conv1 + conv4
+  EXPECT_EQ(sub.num_nodes(), 2);
+  EXPECT_EQ(sub.num_edges(), 0);
+  EXPECT_FALSE(sub.weakly_connected());
+}
+
+TEST(DpSolver, HandlesDisconnectedGraphs) {
+  // The per-component generalization used by pipeline stages: the optimum
+  // of a disconnected graph is the sum of per-component optima.
+  const Graph whole = models::mlp(32, {64, 64});
+  DpOptions opt;
+  opt.config_options.max_devices = 4;
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(4));
+  const double one = find_best_strategy(whole, opt).best_cost;
+
+  std::vector<NodeId> remap;
+  Graph two_copies;
+  for (const Node& n : whole.nodes()) two_copies.add_node(n);
+  for (const Node& n : whole.nodes()) {
+    Node copy = n;
+    copy.name += "_2";
+    two_copies.add_node(copy);
+  }
+  for (const Edge& e : whole.edges()) {
+    two_copies.add_edge(e.src, e.dst, e.shape, e.src_dims, e.dst_dims);
+    two_copies.add_edge(e.src + whole.num_nodes(),
+                        e.dst + whole.num_nodes(), e.shape, e.src_dims,
+                        e.dst_dims);
+  }
+  const DpResult r = find_best_strategy(two_copies, opt);
+  ASSERT_EQ(r.status, DpStatus::kOk);
+  EXPECT_NEAR(r.best_cost, 2.0 * one, 1e-6 * one);
+  for (const Config& c : r.strategy) EXPECT_GT(c.rank(), 0);
+}
+
+TEST(Pipeline, SingleStageEqualsPureStrategySearch) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::alexnet();
+  const PipelineResult r = partition_pipeline(g, m, popts(m, {1}));
+  ASSERT_EQ(r.stages.size(), 1u);
+  EXPECT_EQ(r.devices_per_stage, 8);
+  EXPECT_DOUBLE_EQ(r.step_seconds, r.no_pipeline_seconds);
+  EXPECT_EQ(static_cast<i64>(r.stages[0].nodes.size()), g.num_nodes());
+}
+
+TEST(Pipeline, StagesPartitionTheGraph) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::vgg16(32);
+  const PipelineResult r = partition_pipeline(g, m, popts(m, {2}));
+  ASSERT_EQ(r.stages.size(), 2u);
+  std::set<NodeId> seen;
+  for (const auto& s : r.stages) {
+    EXPECT_EQ(static_cast<i64>(s.strategy.size()),
+              static_cast<i64>(s.nodes.size()));
+    for (NodeId v : s.nodes) EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_EQ(static_cast<i64>(seen.size()), g.num_nodes());
+  EXPECT_EQ(r.devices_per_stage, 4);
+}
+
+TEST(Pipeline, BottleneckIsMaxStageTime) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::vgg16(32);
+  const PipelineResult r = partition_pipeline(g, m, popts(m, {2}));
+  double max_stage = 0.0;
+  for (const auto& s : r.stages) max_stage = std::max(max_stage, s.seconds());
+  EXPECT_NEAR(r.bottleneck_seconds, max_stage, 1e-12);
+  EXPECT_GE(r.step_seconds, r.bottleneck_seconds);  // fill/drain overhead
+}
+
+TEST(Pipeline, PicksBestStageCount) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::alexnet();
+  const PipelineResult best =
+      partition_pipeline(g, m, popts(m, {1, 2, 4}));
+  for (const i64 s : {1LL, 2LL, 4LL}) {
+    const PipelineResult single = partition_pipeline(g, m, popts(m, {s}));
+    EXPECT_LE(best.step_seconds, single.step_seconds * (1 + 1e-9))
+        << "stages=" << s;
+  }
+}
+
+TEST(Pipeline, MoreMicrobatchesShrinkFillDrainOverhead) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::vgg16(32);
+  PipelineOptions few = popts(m, {4});
+  few.microbatches = 2;
+  PipelineOptions many = popts(m, {4});
+  many.microbatches = 64;
+  EXPECT_GT(partition_pipeline(g, m, few).step_seconds,
+            partition_pipeline(g, m, many).step_seconds);
+}
+
+TEST(Pipeline, InvalidStageCountsSkipped) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::alexnet();
+  // 3 does not divide 8; only the 1-stage variant is feasible.
+  const PipelineResult r = partition_pipeline(g, m, popts(m, {3, 1}));
+  EXPECT_EQ(r.stages.size(), 1u);
+}
+
+TEST(Pipeline, WorksOnBranchyGraphs) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::resnet50(32);
+  const PipelineResult r = partition_pipeline(g, m, popts(m, {1, 2}));
+  EXPECT_FALSE(r.stages.empty());
+  EXPECT_GT(r.step_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,172 @@
+// Cross-cutting property tests: invariants that must hold for arbitrary
+// graphs, configurations and device counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/dp_solver.h"
+#include "models/models.h"
+#include "search/baselines.h"
+#include "search/mcmc.h"
+#include "sim/memory.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace pase {
+namespace {
+
+// ---- Transfer-cost invariants on random configuration pairs.
+
+class TransferPropertySweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TransferPropertySweep, NonNegativeAndZeroForIdenticalConfigs) {
+  const Graph g = testing::random_graph(6, 3, GetParam());
+  ConfigOptions copts;
+  copts.max_devices = 8;
+  const ConfigCache cache(g, copts);
+  Rng rng(GetParam() * 31 + 7);
+  const CostParams params;
+  for (const Edge& e : g.edges()) {
+    const auto& su = cache.at(e.src);
+    const auto& sv = cache.at(e.dst);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Config cu = su[rng.uniform(su.size())];
+      const Config cv = sv[rng.uniform(sv.size())];
+      const double bytes = transfer_bytes(e, cu, cv, params);
+      EXPECT_GE(bytes, 0.0);
+      // Aligned case: equal per-tensor-dim splits and equal degrees move
+      // nothing.
+      bool aligned = cu.degree() == cv.degree();
+      for (size_t t = 0; aligned && t < e.shape.size(); ++t) {
+        const i64 a = e.src_dims[t] >= 0 ? cu[e.src_dims[t]] : 1;
+        const i64 b = e.dst_dims[t] >= 0 ? cv[e.dst_dims[t]] : 1;
+        aligned = a == b;
+      }
+      if (aligned) EXPECT_DOUBLE_EQ(bytes, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransferPropertySweep,
+                         ::testing::Values(21, 22, 23, 24));
+
+// ---- Layer-cost invariants across the whole configuration space.
+
+TEST(LayerCostProperty, FiniteAndPositiveForEveryConfig) {
+  ConfigOptions copts;
+  copts.max_devices = 16;
+  CostParams params = CostParams::for_machine(MachineSpec::gtx1080ti(16));
+  for (const auto& bench : models::paper_benchmarks()) {
+    for (const Node& n : bench.graph.nodes()) {
+      for (const Config& c : enumerate_node_configs(n, copts)) {
+        const double cost = layer_cost(n, c, params);
+        EXPECT_TRUE(std::isfinite(cost)) << bench.name << " " << n.name;
+        EXPECT_GE(cost, 0.0) << bench.name << " " << n.name;
+      }
+    }
+  }
+}
+
+// ---- Solver invariants at an unusual (non-power-of-two) device count.
+
+TEST(SolverProperty, WorksWithNonPowerOfTwoDeviceCount) {
+  const Graph g = models::alexnet();
+  DpOptions opt;
+  opt.config_options.max_devices = 6;  // factors stay powers of two
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(6));
+  const DpResult r = find_best_strategy(g, opt);
+  ASSERT_EQ(r.status, DpStatus::kOk);
+  for (const Config& c : r.strategy) EXPECT_LE(c.degree(), 6);
+}
+
+TEST(SolverProperty, OptimumMonotoneInSearchSpace) {
+  // A strictly larger configuration space can only lower the optimum.
+  const Graph g = models::transformer();
+  DpOptions small, large;
+  small.config_options.max_devices = 8;
+  large.config_options.max_devices = 8;
+  large.config_options.powers_of_two_only = false;
+  small.cost_params = large.cost_params =
+      CostParams::for_machine(MachineSpec::gtx1080ti(8));
+  EXPECT_LE(find_best_strategy(g, large).best_cost,
+            find_best_strategy(g, small).best_cost * (1 + 1e-9));
+}
+
+// ---- MCMC with the simulator objective (FlexFlow's actual architecture).
+
+TEST(McmcProperty, SimulatorObjectiveImprovesSimulatedStepTime) {
+  const Graph g = models::alexnet();
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  auto sim = std::make_shared<Simulator>(g, m);
+  ConfigOptions copts;
+  copts.max_devices = 8;
+  McmcOptions mo;
+  mo.max_iterations = 4000;
+  mo.min_iterations = 1000;
+  mo.objective = [sim](const Strategy& phi) {
+    return sim->simulate(phi).step_time_s;
+  };
+  const Strategy init = data_parallel_strategy(g, 8);
+  const McmcResult r =
+      mcmc_search(g, copts, CostParams::for_machine(m), init, mo);
+  EXPECT_LE(r.best_cost, sim->simulate(init).step_time_s * (1 + 1e-9));
+  // best_cost is in the objective's units: seconds.
+  EXPECT_NEAR(r.best_cost, sim->simulate(r.best_strategy).step_time_s,
+              1e-12);
+}
+
+// ---- Simulator invariants across strategies.
+
+TEST(SimulatorProperty, AnyValidStrategySimulates) {
+  const Graph g = models::inception_v3();
+  const Simulator sim(g, MachineSpec::rtx2080ti(16));
+  ConfigOptions copts;
+  copts.max_devices = 16;
+  const ConfigCache cache(g, copts);
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    Strategy phi;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      phi.push_back(cache.at(v)[rng.uniform(cache.at(v).size())]);
+    const SimResult r = sim.simulate(phi);
+    EXPECT_TRUE(std::isfinite(r.step_time_s));
+    EXPECT_GT(r.step_time_s, 0.0);
+    EXPECT_GE(r.step_time_s, 0.9 * r.compute_time_s / 16.0);
+  }
+}
+
+TEST(SimulatorProperty, StepTimeLowerBoundedByBottleneckCompute) {
+  // No strategy can beat the serial compute divided by all devices.
+  const Graph g = models::alexnet();
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Simulator sim(g, m);
+  CostParams params = CostParams::for_machine(m);
+  double serial_flops = 0.0;
+  for (const Node& n : g.nodes())
+    serial_flops += layer_flops(n, Config::ones(n.space.rank()), params);
+  const double bound = serial_flops / (8.0 * m.peak_flops);
+  DpOptions opt;
+  opt.config_options.max_devices = 8;
+  opt.cost_params = params;
+  const DpResult r = find_best_strategy(g, opt);
+  EXPECT_GE(sim.simulate(r.strategy).step_time_s, bound);
+}
+
+// ---- Memory estimator consistency with node-level accounting.
+
+TEST(MemoryProperty, NodeSumsBoundTheEstimate) {
+  const Graph g = models::alexnet();
+  const Strategy phi = owt_strategy(g, 8);
+  double node_sum = 0.0;
+  for (const Node& n : g.nodes())
+    node_sum += node_memory_bytes(n, phi[static_cast<size_t>(n.id)]);
+  const MemoryFootprint fp = estimate_memory(g, phi);
+  // Node-level accounting covers params + outputs + collective buffers;
+  // the full estimate additionally holds consumer-side activation shards.
+  EXPECT_GE(fp.total(), fp.parameter_bytes);
+  EXPECT_GT(node_sum, fp.parameter_bytes);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "models/models.h"
+#include "search/baselines.h"
+#include "search/brute_force.h"
+#include "search/mcmc.h"
+#include "test_util.h"
+
+namespace pase {
+namespace {
+
+ConfigOptions copts(i64 p) {
+  ConfigOptions o;
+  o.max_devices = p;
+  return o;
+}
+
+CostParams cparams() {
+  return CostParams::for_machine(MachineSpec::gtx1080ti(8));
+}
+
+// ---- make_config
+
+TEST(MakeConfig, SplitsRequestedDims) {
+  const Node fc = ops::fully_connected("f", 64, 64, 64);
+  const Config c = make_config(fc, {{"n", 4}, {"c", 2}}, 8);
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], 4);
+  EXPECT_EQ(c[2], 2);
+}
+
+TEST(MakeConfig, ClampsToExtentBudgetAndPow2) {
+  const Node fc = ops::fully_connected("f", 2, 64, 64);
+  EXPECT_EQ(make_config(fc, {{"b", 16}}, 8)[0], 2);   // extent
+  EXPECT_EQ(make_config(fc, {{"n", 100}}, 8)[1], 8);  // budget, pow2
+  const Config c = make_config(fc, {{"n", 8}, {"c", 8}}, 8);
+  EXPECT_EQ(c[1] * c[2], 8);  // budget consumed in order
+}
+
+TEST(MakeConfig, SkipsNonSplittableDims) {
+  const Node conv = ops::conv2d("c", 8, 8, 8, 8, 8, 3, 3);
+  EXPECT_EQ(make_config(conv, {{"h", 4}}, 8)[2], 1);
+}
+
+// ---- baselines
+
+TEST(DataParallel, SplitsOnlyBatch) {
+  const Graph g = models::alexnet();
+  const Strategy phi = data_parallel_strategy(g, 8);
+  EXPECT_TRUE(strategy_valid(g, phi, copts(8)));
+  for (const Node& n : g.nodes()) {
+    const Config& c = phi[static_cast<size_t>(n.id)];
+    const i64 b = n.space.find("b");
+    for (i64 d = 0; d < c.rank(); ++d)
+      EXPECT_EQ(c[d], d == b ? 8 : 1) << n.name;
+  }
+}
+
+TEST(DataParallel, ClampsToBatchExtent) {
+  const Graph g = models::mlp(4, {16, 16});
+  const Strategy phi = data_parallel_strategy(g, 64);
+  EXPECT_EQ(phi[0][0], 4);
+}
+
+TEST(Owt, ConvDataParallelFcParameterParallel) {
+  const Graph g = models::alexnet();
+  const Strategy phi = owt_strategy(g, 8);
+  EXPECT_TRUE(strategy_valid(g, phi, copts(8)));
+  for (const Node& n : g.nodes()) {
+    const Config& c = phi[static_cast<size_t>(n.id)];
+    if (n.kind == OpKind::kConv2D) {
+      EXPECT_EQ(c[0], 8) << n.name;  // batch split
+    } else if (n.kind == OpKind::kFullyConnected) {
+      EXPECT_EQ(c[0], 1) << n.name;
+      EXPECT_EQ(c[1], 8) << n.name;  // out-channel split only
+      EXPECT_EQ(c[2], 1) << n.name;
+    }
+  }
+}
+
+TEST(RnnExpert, PipelineAcrossLayersDataAcrossRest) {
+  const Graph g = models::rnnlm();
+  const Strategy phi = rnn_expert_strategy(g, 8);
+  EXPECT_TRUE(strategy_valid(g, phi, copts(8)));
+  for (const Node& n : g.nodes()) {
+    const Config& c = phi[static_cast<size_t>(n.id)];
+    if (n.kind == OpKind::kLSTM) {
+      EXPECT_EQ(c[0], 2);  // both LSTM layers pipelined
+      EXPECT_EQ(c[1], 4);  // batch split across the rest
+    }
+  }
+}
+
+TEST(TransformerExpert, BatchTimesModelSplit) {
+  const Graph g = models::transformer();
+  const Strategy phi = transformer_expert_strategy(g, 32);
+  EXPECT_TRUE(strategy_valid(g, phi, copts(32)));
+  for (const Node& n : g.nodes()) {
+    const Config& c = phi[static_cast<size_t>(n.id)];
+    if (n.kind == OpKind::kAttention) {
+      EXPECT_EQ(c[0], 8);  // m = p/4
+      EXPECT_EQ(c[2], 4);  // heads n-way
+    }
+    if (n.kind == OpKind::kFeedForward) {
+      EXPECT_EQ(c[0], 8);
+      EXPECT_EQ(c[3], 4);  // hidden n-way
+    }
+  }
+}
+
+TEST(TransformerExpert, SmallPUsesNEquals2) {
+  const Graph g = models::transformer();
+  const Strategy phi = transformer_expert_strategy(g, 4);
+  EXPECT_TRUE(strategy_valid(g, phi, copts(4)));
+}
+
+TEST(ExpertDispatch, PicksByOperatorMix) {
+  // LSTM graphs use the RNN expert; attention graphs the Mesh-TF hybrid;
+  // conv graphs OWT; everything else data parallelism.
+  const Graph rnn = models::rnnlm();
+  const Strategy r = expert_strategy(rnn, 8);
+  EXPECT_EQ(r[1][0], 2);  // LSTM layer dim split
+
+  const Graph cnn = models::alexnet();
+  const Strategy c = expert_strategy(cnn, 8);
+  EXPECT_EQ(c[8][1], 8);  // FC1 out-channel split (OWT)
+
+  const Graph mlp = models::mlp(64, {64, 64});
+  const Strategy m = expert_strategy(mlp, 8);
+  EXPECT_EQ(m[0][0], 8);  // plain data parallelism
+}
+
+// ---- brute force
+
+TEST(BruteForce, EvaluatesEveryStrategy) {
+  const Graph g = models::mlp(16, {32, 16});
+  const auto r = brute_force_search(g, copts(4), cparams());
+  ASSERT_TRUE(r.has_value());
+  const ConfigCache cache(g, copts(4));
+  u64 expected = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    expected *= cache.at(v).size();
+  EXPECT_EQ(r->strategies_evaluated, expected);
+}
+
+TEST(BruteForce, RespectsCap) {
+  const Graph g = models::mlp(16, {32, 32, 32, 16});
+  EXPECT_FALSE(brute_force_search(g, copts(8), cparams(), 10).has_value());
+}
+
+TEST(BruteForce, BestStrategyAchievesBestCost) {
+  const Graph g = testing::random_graph(4, 1, 11);
+  const auto r = brute_force_search(g, copts(4), cparams());
+  ASSERT_TRUE(r.has_value());
+  const CostModel cm(g, cparams());
+  EXPECT_DOUBLE_EQ(cm.total_cost(r->best_strategy), r->best_cost);
+}
+
+// ---- MCMC
+
+McmcOptions quick_mcmc(u64 seed, bool full_eval = false) {
+  McmcOptions o;
+  o.max_iterations = 5000;
+  o.min_iterations = 500;
+  o.seed = seed;
+  o.full_evaluation = full_eval;
+  return o;
+}
+
+TEST(Mcmc, NeverWorseThanInitial) {
+  const Graph g = models::alexnet();
+  const Strategy init = data_parallel_strategy(g, 8);
+  const CostModel cm(g, cparams());
+  const McmcResult r =
+      mcmc_search(g, copts(8), cparams(), init, quick_mcmc(1));
+  EXPECT_LE(r.best_cost, cm.total_cost(init) * (1 + 1e-9));
+}
+
+TEST(Mcmc, DeterministicForSeed) {
+  const Graph g = models::alexnet();
+  const Strategy init = expert_strategy(g, 8);
+  const McmcResult a =
+      mcmc_search(g, copts(8), cparams(), init, quick_mcmc(7));
+  const McmcResult b =
+      mcmc_search(g, copts(8), cparams(), init, quick_mcmc(7));
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Mcmc, BestCostMatchesBestStrategy) {
+  const Graph g = models::alexnet();
+  const McmcResult r = mcmc_search(g, copts(8), cparams(),
+                                   data_parallel_strategy(g, 8),
+                                   quick_mcmc(3));
+  const CostModel cm(g, cparams());
+  EXPECT_NEAR(cm.total_cost(r.best_strategy), r.best_cost,
+              1e-9 * r.best_cost);
+}
+
+TEST(Mcmc, DeltaAndFullEvaluationAgreeOnBestCostSemantics) {
+  // Different walks (full eval re-ranks identically but timing differs);
+  // both must return internally consistent results.
+  const Graph g = models::mlp(64, {128, 128, 64});
+  const Strategy init = data_parallel_strategy(g, 8);
+  const CostModel cm(g, cparams());
+  for (bool full : {false, true}) {
+    const McmcResult r =
+        mcmc_search(g, copts(8), cparams(), init, quick_mcmc(5, full));
+    EXPECT_NEAR(cm.total_cost(r.best_strategy), r.best_cost,
+                1e-9 * r.best_cost);
+    EXPECT_TRUE(strategy_valid(g, r.best_strategy, copts(8)));
+  }
+}
+
+TEST(Mcmc, RespectsIterationCap) {
+  const Graph g = models::alexnet();
+  McmcOptions o = quick_mcmc(2);
+  o.max_iterations = 100;
+  o.stop_half_no_improvement = false;
+  const McmcResult r =
+      mcmc_search(g, copts(8), cparams(), expert_strategy(g, 8), o);
+  EXPECT_EQ(r.iterations, 100u);
+}
+
+TEST(Mcmc, HalfTimeStopTerminatesEarly) {
+  const Graph g = models::mlp(16, {32, 16});
+  McmcOptions o;
+  o.max_iterations = 1000000;
+  o.min_iterations = 200;
+  o.seed = 4;
+  const McmcResult r = mcmc_search(g, copts(2), cparams(),
+                                   data_parallel_strategy(g, 2), o);
+  EXPECT_LT(r.iterations, o.max_iterations);
+}
+
+TEST(Mcmc, BoundedByOptimumAndInitial) {
+  // MCMC can get stuck in local minima (the FlexFlow weakness the paper
+  // §VI points out), so it is only guaranteed to land between the global
+  // optimum and its initial candidate.
+  const Graph g = models::mlp(16, {32, 16});
+  const auto bf = brute_force_search(g, copts(4), cparams());
+  ASSERT_TRUE(bf.has_value());
+  const CostModel cm(g, cparams());
+  const Strategy init = data_parallel_strategy(g, 4);
+  McmcOptions o = quick_mcmc(6);
+  o.max_iterations = 20000;
+  const McmcResult r = mcmc_search(g, copts(4), cparams(), init, o);
+  EXPECT_GE(r.best_cost, bf->best_cost * (1 - 1e-9));
+  EXPECT_LE(r.best_cost, cm.total_cost(init) * (1 + 1e-9));
+}
+
+TEST(Mcmc, HighTemperatureEscapesLocalMinimaOnTinyGraph) {
+  const Graph g = models::mlp(16, {32, 16});
+  const auto bf = brute_force_search(g, copts(4), cparams());
+  ASSERT_TRUE(bf.has_value());
+  McmcOptions o = quick_mcmc(6);
+  o.max_iterations = 50000;
+  o.stop_half_no_improvement = false;
+  o.temperature_fraction = 0.5;  // hot walk ~ random sampling
+  const McmcResult r = mcmc_search(g, copts(4), cparams(),
+                                   data_parallel_strategy(g, 4), o);
+  EXPECT_NEAR(r.best_cost, bf->best_cost, 1e-6 * bf->best_cost);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "models/models.h"
+#include "search/baselines.h"
+
+namespace pase {
+namespace {
+
+ConfigOptions copts(i64 p) {
+  ConfigOptions o;
+  o.max_devices = p;
+  return o;
+}
+
+TEST(StrategyValid, AcceptsBaselines) {
+  const Graph g = models::alexnet();
+  EXPECT_TRUE(strategy_valid(g, data_parallel_strategy(g, 8), copts(8)));
+  EXPECT_TRUE(strategy_valid(g, owt_strategy(g, 8), copts(8)));
+}
+
+TEST(StrategyValid, RejectsWrongSize) {
+  const Graph g = models::alexnet();
+  Strategy phi = data_parallel_strategy(g, 8);
+  phi.pop_back();
+  EXPECT_FALSE(strategy_valid(g, phi, copts(8)));
+}
+
+TEST(StrategyValid, RejectsWrongRank) {
+  const Graph g = models::mlp(8, {16, 8});
+  Strategy phi = data_parallel_strategy(g, 4);
+  phi[0] = Config::ones(2);  // FC rank is 3
+  EXPECT_FALSE(strategy_valid(g, phi, copts(4)));
+}
+
+TEST(StrategyValid, RejectsOverBudgetDegree) {
+  const Graph g = models::mlp(64, {64, 64});
+  Strategy phi = data_parallel_strategy(g, 4);
+  phi[0] = Config{4, 4, 1};  // degree 16 > p = 4
+  EXPECT_FALSE(strategy_valid(g, phi, copts(4)));
+}
+
+TEST(StrategyValid, RejectsNonPow2WhenRequired) {
+  const Graph g = models::mlp(64, {64, 64});
+  Strategy phi = data_parallel_strategy(g, 8);
+  phi[0] = Config{3, 1, 1};
+  EXPECT_FALSE(strategy_valid(g, phi, copts(8)));
+  ConfigOptions relaxed = copts(8);
+  relaxed.powers_of_two_only = false;
+  EXPECT_TRUE(strategy_valid(g, phi, relaxed));
+}
+
+TEST(StrategyValid, RejectsSplitOfNonSplittableDim) {
+  const Graph g = models::alexnet();
+  Strategy phi = data_parallel_strategy(g, 8);
+  phi[0] = Config{1, 1, 2, 1, 1, 1, 1};  // conv h is not splittable
+  EXPECT_FALSE(strategy_valid(g, phi, copts(8)));
+}
+
+TEST(StrategyValid, RejectsOverExtentSplit) {
+  const Graph g = models::mlp(2, {64, 64});
+  Strategy phi = data_parallel_strategy(g, 8);
+  phi[0] = Config{8, 1, 1};  // batch extent is only 2
+  EXPECT_FALSE(strategy_valid(g, phi, copts(8)));
+}
+
+TEST(StrategyValid, FullUseRequiresExactDegree) {
+  const Graph g = models::mlp(64, {64, 64});
+  ConfigOptions full = copts(8);
+  full.require_full_use = true;
+  EXPECT_FALSE(
+      strategy_valid(g, Strategy(2, Config::ones(3) /*softmax rank 2!*/),
+                     full));
+  Strategy phi = {Config{8, 1, 1}, Config{8, 1}};
+  // mlp(64,{64,64}) = FC (b,n,c) + softmax (b,n).
+  EXPECT_TRUE(strategy_valid(g, phi, full));
+}
+
+TEST(StrategyToString, ContainsAllNodes) {
+  const Graph g = models::rnnlm();
+  const std::string s =
+      strategy_to_string(g, data_parallel_strategy(g, 8));
+  for (const Node& n : g.nodes())
+    EXPECT_NE(s.find(n.name), std::string::npos) << n.name;
+}
+
+TEST(StrategyTable, CollapsesRuns) {
+  const Graph g = models::alexnet();
+  const std::string t =
+      strategy_table("AlexNet", g, data_parallel_strategy(g, 8));
+  // Conv1..Pool5 all share bchwrs/bchwnrs? No: conv and pool spaces differ,
+  // so runs break at kind changes, but FC1..FC2 share "bnc" + config.
+  EXPECT_NE(t.find("AlexNet"), std::string::npos);
+  EXPECT_NE(t.find("(8, 1, 1)"), std::string::npos);
+  EXPECT_NE(t.find(".."), std::string::npos);  // at least one collapsed run
+}
+
+TEST(StrategyTable, SingletonRunsKeepPlainLabels) {
+  const Graph g = models::rnnlm();
+  const std::string t =
+      strategy_table("RNNLM", g, data_parallel_strategy(g, 8));
+  EXPECT_NE(t.find("LSTM"), std::string::npos);
+  EXPECT_NE(t.find("lbsde"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pase

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/bitset.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/types.h"
+
+namespace pase {
+namespace {
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+}
+
+TEST(Types, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Types, FloorPow2) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(2), 2);
+  EXPECT_EQ(floor_pow2(3), 2);
+  EXPECT_EQ(floor_pow2(127), 64);
+  EXPECT_EQ(floor_pow2(128), 128);
+}
+
+TEST(Bitset, SetTestReset) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2);
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, SetAlgebra) {
+  Bitset a(100), b(100);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+  const Bitset u = a | b;
+  EXPECT_EQ(u.count(), 3);
+  const Bitset i = a & b;
+  EXPECT_EQ(i.count(), 1);
+  EXPECT_TRUE(i.test(70));
+  const Bitset d = a - b;
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_TRUE(a.intersects(b));
+  Bitset c(100);
+  c.set(5);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset, Equality) {
+  Bitset a(64), b(64);
+  a.set(3);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  b.set(4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitset, ToVectorAndForEach) {
+  Bitset b(200);
+  const std::vector<i64> want = {0, 63, 64, 127, 128, 199};
+  for (i64 i : want) b.set(i);
+  EXPECT_EQ(b.to_vector(), want);
+  std::vector<i64> seen;
+  b.for_each([&](i64 i) { seen.push_back(i); });
+  EXPECT_EQ(seen, want);
+}
+
+TEST(Bitset, AnyEmpty) {
+  Bitset b(1);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(Hash, Deterministic) {
+  const std::vector<u32> v = {1, 2, 3};
+  EXPECT_EQ(hash_vector(v), hash_vector(v));
+}
+
+TEST(Hash, OrderSensitive) {
+  EXPECT_NE(hash_vector<u32>({1, 2, 3}), hash_vector<u32>({3, 2, 1}));
+}
+
+TEST(Hash, LengthSensitive) {
+  EXPECT_NE(hash_vector<u32>({1, 2}), hash_vector<u32>({1, 2, 0}));
+}
+
+TEST(Hash, FewCollisionsOnSmallKeys) {
+  std::set<u64> hashes;
+  for (u32 a = 0; a < 32; ++a)
+    for (u32 b = 0; b < 32; ++b) hashes.insert(hash_vector<u32>({a, b}));
+  EXPECT_EQ(hashes.size(), 32u * 32u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Timer, FormatMinsSecs) {
+  EXPECT_EQ(format_mins_secs(0.0), "0:00.000");
+  EXPECT_EQ(format_mins_secs(0.226), "0:00.226");
+  EXPECT_EQ(format_mins_secs(14.398), "0:14.398");
+  EXPECT_EQ(format_mins_secs(69.21), "1:09.210");
+  EXPECT_EQ(format_mins_secs(1883.187), "31:23.187");
+  EXPECT_EQ(format_mins_secs(-1.0), "0:00.000");
+}
+
+TEST(Timer, ElapsedIsMonotonic) {
+  WallTimer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Title");
+  t.set_header({"A", "BB"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| A "), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.set_header({"A"});
+  t.add_row({"1", "2", "3"});
+  t.add_rule();
+  t.add_row({"x"});
+  EXPECT_FALSE(t.to_string().empty());
+}
+
+}  // namespace
+}  // namespace pase

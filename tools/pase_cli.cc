@@ -1,0 +1,163 @@
+// pase_cli — strategy search for models described in the pase-model text
+// format (see src/io/model_parser.h), no recompilation needed.
+//
+//   pase_cli <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]
+//            [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]
+//
+// Prints the best strategy (Table II style), its analytical cost, search
+// statistics and simulated step time; --baseline adds the data-parallel
+// comparison; --export writes the strategy in the pase-strategy format;
+// --trace writes the simulated step timeline as Chrome trace-event JSON
+// (open in chrome://tracing or Perfetto).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/dp_solver.h"
+#include "core/strategy.h"
+#include "io/model_parser.h"
+#include "io/strategy_io.h"
+#include "search/baselines.h"
+#include "sim/memory.h"
+#include "sim/simulator.h"
+
+using namespace pase;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]\n"
+      "          [--memory-gb G] [--baseline] [--export FILE] [--trace "
+      "FILE]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const char* model_path = nullptr;
+  i64 devices = 8;
+  std::string machine_name = "1080ti";
+  double memory_gb = 0.0;
+  bool baseline = false;
+  const char* export_path = nullptr;
+  const char* trace_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      devices = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--memory-gb") == 0 && i + 1 < argc) {
+      memory_gb = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline = true;
+    } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (argv[i][0] != '-' && !model_path) {
+      model_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!model_path || devices < 1) return usage(argv[0]);
+
+  std::ifstream in(model_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", model_path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const ModelParseResult model = parse_model(buffer.str());
+  if (!model.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", model_path, model.error.c_str());
+    return 1;
+  }
+
+  MachineSpec machine;
+  if (machine_name == "1080ti") {
+    machine = MachineSpec::gtx1080ti(devices);
+  } else if (machine_name == "2080ti") {
+    machine = MachineSpec::rtx2080ti(devices);
+  } else if (machine_name == "mixed") {
+    machine = MachineSpec::mixed_cluster(devices);
+  } else {
+    return usage(argv[0]);
+  }
+
+  DpOptions options;
+  options.config_options.max_devices = devices;
+  options.cost_params = CostParams::for_machine(machine);
+  if (memory_gb > 0)
+    options.config_options.filter = memory_config_filter(memory_gb * 1e9);
+
+  const DpResult r = find_best_strategy(model.graph, options);
+  if (r.status == DpStatus::kOutOfMemory) {
+    std::fprintf(stderr, "error: solver table guard tripped (graph too "
+                         "dense for the DP)\n");
+    return 1;
+  }
+  if (r.status == DpStatus::kInfeasible) {
+    std::fprintf(stderr, "error: no configuration satisfies the %.1f GB "
+                         "memory budget for some layer\n",
+                 memory_gb);
+    return 1;
+  }
+
+  const std::string title =
+      (model.name.empty() ? std::string(model_path) : model.name) + " on " +
+      std::to_string(devices) + "x " + machine.name;
+  std::fputs(strategy_table(title, model.graph, r.strategy).c_str(), stdout);
+
+  const Simulator sim(model.graph, machine);
+  std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms\n",
+              static_cast<long long>(model.graph.num_nodes()),
+              static_cast<long long>(r.max_configs),
+              static_cast<long long>(r.max_dependent_set),
+              r.elapsed_seconds * 1e3);
+  std::printf("analytical cost: %.4g FLOP-equiv   simulated step: %.2f ms   "
+              "per-device memory: %.2f GB\n",
+              r.best_cost, sim.simulate(r.strategy).step_time_s * 1e3,
+              estimate_memory(model.graph, r.strategy).total() / 1e9);
+
+  if (baseline) {
+    const Strategy dp = data_parallel_strategy(model.graph, devices);
+    std::printf("data parallelism: simulated step %.2f ms, memory %.2f GB "
+                "-> speedup %.2fx\n",
+                sim.simulate(dp).step_time_s * 1e3,
+                estimate_memory(model.graph, dp).total() / 1e9,
+                sim.speedup(r.strategy, dp));
+  }
+
+  if (export_path) {
+    std::ofstream out(export_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", export_path);
+      return 1;
+    }
+    out << write_strategy(model.graph, r.strategy);
+    std::printf("strategy written to %s\n", export_path);
+  }
+
+  if (trace_path) {
+    SimTrace trace;
+    sim.simulate(r.strategy, &trace);
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path);
+      return 1;
+    }
+    out << to_chrome_trace_json(trace);
+    std::printf("chrome trace written to %s\n", trace_path);
+  }
+  return 0;
+}
