@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_config_space.dir/ablation_config_space.cc.o"
+  "CMakeFiles/ablation_config_space.dir/ablation_config_space.cc.o.d"
+  "ablation_config_space"
+  "ablation_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_depsets.dir/ablation_depsets.cc.o"
+  "CMakeFiles/ablation_depsets.dir/ablation_depsets.cc.o.d"
+  "ablation_depsets"
+  "ablation_depsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_depsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_memory_cap.cc" "bench/CMakeFiles/ablation_memory_cap.dir/ablation_memory_cap.cc.o" "gcc" "bench/CMakeFiles/ablation_memory_cap.dir/ablation_memory_cap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pase_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/pase_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pase_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pase_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/pase_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pase_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/pase_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pase_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_cap.dir/ablation_memory_cap.cc.o"
+  "CMakeFiles/ablation_memory_cap.dir/ablation_memory_cap.cc.o.d"
+  "ablation_memory_cap"
+  "ablation_memory_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_speedup_1080ti.dir/fig6a_speedup_1080ti.cc.o"
+  "CMakeFiles/fig6a_speedup_1080ti.dir/fig6a_speedup_1080ti.cc.o.d"
+  "fig6a_speedup_1080ti"
+  "fig6a_speedup_1080ti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_speedup_1080ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_speedup_2080ti.dir/fig6b_speedup_2080ti.cc.o"
+  "CMakeFiles/fig6b_speedup_2080ti.dir/fig6b_speedup_2080ti.cc.o.d"
+  "fig6b_speedup_2080ti"
+  "fig6b_speedup_2080ti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_speedup_2080ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

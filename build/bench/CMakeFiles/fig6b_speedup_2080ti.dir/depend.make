@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_speedup_2080ti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inception_strategy.dir/inception_strategy.cpp.o"
+  "CMakeFiles/inception_strategy.dir/inception_strategy.cpp.o.d"
+  "inception_strategy"
+  "inception_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inception_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_hybrid.dir/pipeline_hybrid.cpp.o"
+  "CMakeFiles/pipeline_hybrid.dir/pipeline_hybrid.cpp.o.d"
+  "pipeline_hybrid"
+  "pipeline_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_strategy.dir/transformer_strategy.cpp.o"
+  "CMakeFiles/transformer_strategy.dir/transformer_strategy.cpp.o.d"
+  "transformer_strategy"
+  "transformer_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

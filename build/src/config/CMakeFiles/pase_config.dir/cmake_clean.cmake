@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_config.dir/config_enum.cc.o"
+  "CMakeFiles/pase_config.dir/config_enum.cc.o.d"
+  "libpase_config.a"
+  "libpase_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

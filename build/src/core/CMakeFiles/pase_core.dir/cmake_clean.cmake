@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_core.dir/dep_sets.cc.o"
+  "CMakeFiles/pase_core.dir/dep_sets.cc.o.d"
+  "CMakeFiles/pase_core.dir/dp_solver.cc.o"
+  "CMakeFiles/pase_core.dir/dp_solver.cc.o.d"
+  "CMakeFiles/pase_core.dir/ordering.cc.o"
+  "CMakeFiles/pase_core.dir/ordering.cc.o.d"
+  "CMakeFiles/pase_core.dir/strategy.cc.o"
+  "CMakeFiles/pase_core.dir/strategy.cc.o.d"
+  "libpase_core.a"
+  "libpase_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

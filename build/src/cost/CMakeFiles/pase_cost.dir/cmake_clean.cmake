@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_cost.dir/cost_model.cc.o"
+  "CMakeFiles/pase_cost.dir/cost_model.cc.o.d"
+  "libpase_cost.a"
+  "libpase_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

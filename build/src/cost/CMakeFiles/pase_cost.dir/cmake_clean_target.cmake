@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpase_cost.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_graph.dir/graph.cc.o"
+  "CMakeFiles/pase_graph.dir/graph.cc.o.d"
+  "libpase_graph.a"
+  "libpase_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/model_parser.cc" "src/io/CMakeFiles/pase_io.dir/model_parser.cc.o" "gcc" "src/io/CMakeFiles/pase_io.dir/model_parser.cc.o.d"
+  "/root/repo/src/io/strategy_io.cc" "src/io/CMakeFiles/pase_io.dir/strategy_io.cc.o" "gcc" "src/io/CMakeFiles/pase_io.dir/strategy_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/pase_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/pase_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pase_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_io.dir/model_parser.cc.o"
+  "CMakeFiles/pase_io.dir/model_parser.cc.o.d"
+  "CMakeFiles/pase_io.dir/strategy_io.cc.o"
+  "CMakeFiles/pase_io.dir/strategy_io.cc.o.d"
+  "libpase_io.a"
+  "libpase_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/alexnet.cc" "src/models/CMakeFiles/pase_models.dir/alexnet.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/alexnet.cc.o.d"
+  "/root/repo/src/models/densenet.cc" "src/models/CMakeFiles/pase_models.dir/densenet.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/densenet.cc.o.d"
+  "/root/repo/src/models/inception_v3.cc" "src/models/CMakeFiles/pase_models.dir/inception_v3.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/inception_v3.cc.o.d"
+  "/root/repo/src/models/mobilenet_gnmt.cc" "src/models/CMakeFiles/pase_models.dir/mobilenet_gnmt.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/mobilenet_gnmt.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/pase_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/rnnlm.cc" "src/models/CMakeFiles/pase_models.dir/rnnlm.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/rnnlm.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/models/CMakeFiles/pase_models.dir/transformer.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/transformer.cc.o.d"
+  "/root/repo/src/models/wiring.cc" "src/models/CMakeFiles/pase_models.dir/wiring.cc.o" "gcc" "src/models/CMakeFiles/pase_models.dir/wiring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/pase_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pase_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_models.dir/alexnet.cc.o"
+  "CMakeFiles/pase_models.dir/alexnet.cc.o.d"
+  "CMakeFiles/pase_models.dir/densenet.cc.o"
+  "CMakeFiles/pase_models.dir/densenet.cc.o.d"
+  "CMakeFiles/pase_models.dir/inception_v3.cc.o"
+  "CMakeFiles/pase_models.dir/inception_v3.cc.o.d"
+  "CMakeFiles/pase_models.dir/mobilenet_gnmt.cc.o"
+  "CMakeFiles/pase_models.dir/mobilenet_gnmt.cc.o.d"
+  "CMakeFiles/pase_models.dir/resnet.cc.o"
+  "CMakeFiles/pase_models.dir/resnet.cc.o.d"
+  "CMakeFiles/pase_models.dir/rnnlm.cc.o"
+  "CMakeFiles/pase_models.dir/rnnlm.cc.o.d"
+  "CMakeFiles/pase_models.dir/transformer.cc.o"
+  "CMakeFiles/pase_models.dir/transformer.cc.o.d"
+  "CMakeFiles/pase_models.dir/wiring.cc.o"
+  "CMakeFiles/pase_models.dir/wiring.cc.o.d"
+  "libpase_models.a"
+  "libpase_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_ops.dir/ops.cc.o"
+  "CMakeFiles/pase_ops.dir/ops.cc.o.d"
+  "libpase_ops.a"
+  "libpase_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/pase_pipeline.dir/pipeline.cc.o.d"
+  "libpase_pipeline.a"
+  "libpase_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/baselines.cc" "src/search/CMakeFiles/pase_search.dir/baselines.cc.o" "gcc" "src/search/CMakeFiles/pase_search.dir/baselines.cc.o.d"
+  "/root/repo/src/search/brute_force.cc" "src/search/CMakeFiles/pase_search.dir/brute_force.cc.o" "gcc" "src/search/CMakeFiles/pase_search.dir/brute_force.cc.o.d"
+  "/root/repo/src/search/mcmc.cc" "src/search/CMakeFiles/pase_search.dir/mcmc.cc.o" "gcc" "src/search/CMakeFiles/pase_search.dir/mcmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/pase_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/pase_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pase_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_search.dir/baselines.cc.o"
+  "CMakeFiles/pase_search.dir/baselines.cc.o.d"
+  "CMakeFiles/pase_search.dir/brute_force.cc.o"
+  "CMakeFiles/pase_search.dir/brute_force.cc.o.d"
+  "CMakeFiles/pase_search.dir/mcmc.cc.o"
+  "CMakeFiles/pase_search.dir/mcmc.cc.o.d"
+  "libpase_search.a"
+  "libpase_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_sim.dir/memory.cc.o"
+  "CMakeFiles/pase_sim.dir/memory.cc.o.d"
+  "CMakeFiles/pase_sim.dir/placement.cc.o"
+  "CMakeFiles/pase_sim.dir/placement.cc.o.d"
+  "CMakeFiles/pase_sim.dir/simulator.cc.o"
+  "CMakeFiles/pase_sim.dir/simulator.cc.o.d"
+  "libpase_sim.a"
+  "libpase_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

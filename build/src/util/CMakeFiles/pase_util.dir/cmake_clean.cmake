@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_util.dir/table.cc.o"
+  "CMakeFiles/pase_util.dir/table.cc.o.d"
+  "CMakeFiles/pase_util.dir/timer.cc.o"
+  "CMakeFiles/pase_util.dir/timer.cc.o.d"
+  "libpase_util.a"
+  "libpase_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

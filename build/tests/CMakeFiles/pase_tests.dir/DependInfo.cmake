@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config_test.cc" "tests/CMakeFiles/pase_tests.dir/config_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/config_test.cc.o.d"
+  "/root/repo/tests/cost_test.cc" "tests/CMakeFiles/pase_tests.dir/cost_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/cost_test.cc.o.d"
+  "/root/repo/tests/dep_sets_test.cc" "tests/CMakeFiles/pase_tests.dir/dep_sets_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/dep_sets_test.cc.o.d"
+  "/root/repo/tests/dp_solver_test.cc" "tests/CMakeFiles/pase_tests.dir/dp_solver_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/dp_solver_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/pase_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/hetero_test.cc" "tests/CMakeFiles/pase_tests.dir/hetero_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/hetero_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/pase_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/pase_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/memcap_test.cc" "tests/CMakeFiles/pase_tests.dir/memcap_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/memcap_test.cc.o.d"
+  "/root/repo/tests/model_parser_test.cc" "tests/CMakeFiles/pase_tests.dir/model_parser_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/model_parser_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/pase_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/pase_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/ordering_test.cc" "tests/CMakeFiles/pase_tests.dir/ordering_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/ordering_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/pase_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/placement_test.cc" "tests/CMakeFiles/pase_tests.dir/placement_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/placement_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/pase_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/pase_tests.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/search_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/pase_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/strategy_test.cc" "tests/CMakeFiles/pase_tests.dir/strategy_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/strategy_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/pase_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/zoo_test.cc" "tests/CMakeFiles/pase_tests.dir/zoo_test.cc.o" "gcc" "tests/CMakeFiles/pase_tests.dir/zoo_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pase_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/pase_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pase_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pase_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/pase_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pase_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pase_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/pase_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/pase_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pase_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pase_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pase_cli.dir/pase_cli.cc.o"
+  "CMakeFiles/pase_cli.dir/pase_cli.cc.o.d"
+  "pase_cli"
+  "pase_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pase_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
