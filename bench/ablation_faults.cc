@@ -1,0 +1,104 @@
+// Ablation: fault-aware robustness. Every strategy is scored by the
+// discrete-event simulator under a deterministic fault scenario
+// (straggler + degraded links + transient jitter, seeded), and ranked
+// twice — by healthy step time and by expected faulted step time. The
+// point of the table: the healthy ranking is not robust, and searching
+// on the perturbed machine (`pase_cli --fault-aware`) recovers it.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "fault/fault_model.h"
+#include "fault/robustness.h"
+#include "util/table.h"
+
+using namespace pase;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  Strategy phi;
+  RobustnessReport rep;
+};
+
+// 1-based rank of entry `i` under `key`, with deterministic ties.
+int rank_of(const std::vector<Entry>& entries, size_t i,
+            double (*key)(const Entry&)) {
+  int rank = 1;
+  for (size_t j = 0; j < entries.size(); ++j)
+    if (key(entries[j]) < key(entries[i]) ||
+        (key(entries[j]) == key(entries[i]) && j < i))
+      ++rank;
+  return rank;
+}
+
+double healthy_key(const Entry& e) { return e.rep.healthy.step_time_s; }
+double faulted_key(const Entry& e) { return e.rep.mean_step_time_s; }
+
+}  // namespace
+
+int main() {
+  const i64 p = 16;
+  const char* kFaults = "straggler=0:3,links=0.8:0.35,jitter=0.1";
+  const u64 kSeed = 7;
+  const int kScenarios = 16;
+
+  const FaultSpecParseResult parsed = parse_fault_spec(kFaults);
+  PASE_CHECK(parsed.ok);
+  const FaultModel model(parsed.spec, kSeed);
+
+  const MachineSpec healthy = MachineSpec::gtx1080ti(p);
+  const MachineSpec faulted = model.perturb(healthy);
+
+  TextTable table("Ablation: robustness under faults (p=16, spec '" +
+                  std::string(kFaults) + "', seed 7) — step time (ms)");
+  table.set_header({"Benchmark", "Strategy", "Healthy", "Faulted(mean)",
+                    "Worst", "Slowdown", "Rank H", "Rank F"});
+
+  int rank_changes = 0;
+  char buf[32];
+  for (const auto& b : models::paper_benchmarks()) {
+    std::vector<Entry> entries;
+    entries.push_back({"DataParallel", data_parallel_strategy(b.graph, p), {}});
+    entries.push_back({"Expert", expert_strategy(b.graph, p), {}});
+    const DpResult dp = find_best_strategy(b.graph, bench::dp_options(healthy));
+    PASE_CHECK(dp.status == DpStatus::kOk);
+    entries.push_back({"PaSE", dp.strategy, {}});
+    // Fault-aware: the same search run against the perturbed machine.
+    const DpResult fa = find_best_strategy(b.graph, bench::dp_options(faulted));
+    PASE_CHECK(fa.status == DpStatus::kOk);
+    entries.push_back({"PaSE fault-aware", fa.strategy, {}});
+
+    for (Entry& e : entries)
+      e.rep = evaluate_robustness(b.graph, healthy, e.phi, model, kScenarios);
+
+    bool first = true;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const Entry& e = entries[i];
+      const int rh = rank_of(entries, i, healthy_key);
+      const int rf = rank_of(entries, i, faulted_key);
+      if (rh != rf) ++rank_changes;
+      std::vector<std::string> cells = {first ? b.name : "", e.name};
+      std::snprintf(buf, sizeof(buf), "%.2f", e.rep.healthy.step_time_s * 1e3);
+      cells.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2f", e.rep.mean_step_time_s * 1e3);
+      cells.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2f", e.rep.worst_step_time_s * 1e3);
+      cells.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2fx", e.rep.slowdown());
+      cells.push_back(buf);
+      cells.push_back(std::to_string(rh));
+      cells.push_back(std::to_string(rf));
+      table.add_row(cells);
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::printf(
+      "\n%d strategy rank(s) change between the healthy and faulted\n"
+      "orderings. Scores are deterministic for a fixed seed: rerunning\n"
+      "this binary reproduces the table bit-for-bit.\n",
+      rank_changes);
+  return 0;
+}

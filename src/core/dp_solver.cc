@@ -22,6 +22,13 @@ struct Entry {
 using Key = std::vector<u32>;
 using Table = std::unordered_map<Key, Entry, VectorHash<u32>>;
 
+/// Compact number rendering for guard-reason diagnostics.
+std::string fmt_count(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
 /// Per-position DP state kept alive for anchor lookups and extraction.
 struct PositionState {
   std::vector<NodeId> dependent;      ///< D(i), sorted by node id
@@ -36,6 +43,96 @@ Key make_key(const std::vector<u32>& cur_idx,
   key.reserve(nodes.size());
   for (NodeId v : nodes) key.push_back(cur_idx[static_cast<size_t>(v)]);
   return key;
+}
+
+/// Graceful-degradation fallback: a deterministic beam search over the same
+/// vertex ordering. A beam state is a configuration choice for every
+/// sequenced-so-far vertex; placing v^(i) adds its node cost plus the cost
+/// of every incident edge whose other endpoint is already sequenced (each
+/// edge is counted exactly once, when its later endpoint is placed, so a
+/// completed state's accumulated cost is exactly Eq. (1)). Work is bounded
+/// by beam_width * K per vertex — no substrategy tables, no blow-up.
+void beam_search_fallback(const Graph& graph, const Ordering& order,
+                          const ConfigCache& configs, const CostModel& cost,
+                          i64 beam_width, DpResult& result) {
+  PASE_CHECK(beam_width >= 1);
+  const i64 n = graph.num_nodes();
+
+  struct State {
+    double cost = 0.0;
+    std::vector<u32> cfg;  ///< per node id; meaningful for placed nodes
+  };
+  std::vector<State> beam(1);
+  beam[0].cfg.assign(static_cast<size_t>(n), 0);
+
+  struct Candidate {
+    double cost;
+    u32 state;
+    u32 ci;
+  };
+  std::vector<Candidate> candidates;
+
+  for (i64 i = 0; i < n; ++i) {
+    const NodeId vi = order.seq[static_cast<size_t>(i)];
+    const auto& vi_configs = configs.at(vi);
+
+    // Incident edges whose other endpoint is already placed.
+    struct EarlierEdge {
+      const Edge* edge;
+      NodeId other;
+    };
+    std::vector<EarlierEdge> earlier;
+    for (EdgeId eid : graph.incident_edges(vi)) {
+      const Edge& e = graph.edge(eid);
+      const NodeId w = e.src == vi ? e.dst : e.src;
+      if (order.pos[static_cast<size_t>(w)] < i) earlier.push_back({&e, w});
+    }
+
+    candidates.clear();
+    for (size_t s = 0; s < beam.size(); ++s) {
+      for (size_t ci = 0; ci < vi_configs.size(); ++ci) {
+        double c = beam[s].cost + cost.node_cost(vi, vi_configs[ci]);
+        for (const EarlierEdge& ee : earlier) {
+          const Config& other_cfg =
+              configs.at(ee.other)[beam[s].cfg[static_cast<size_t>(ee.other)]];
+          const Config& src =
+              ee.edge->src == vi ? vi_configs[ci] : other_cfg;
+          const Config& dst =
+              ee.edge->src == vi ? other_cfg : vi_configs[ci];
+          c += cost.edge_cost(*ee.edge, src, dst);
+        }
+        candidates.push_back(
+            {c, static_cast<u32>(s), static_cast<u32>(ci)});
+      }
+    }
+
+    const size_t keep =
+        std::min(static_cast<size_t>(beam_width), candidates.size());
+    // Deterministic: ties broken by parent-state rank, then config order.
+    std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                      candidates.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        if (a.cost != b.cost) return a.cost < b.cost;
+                        if (a.state != b.state) return a.state < b.state;
+                        return a.ci < b.ci;
+                      });
+    std::vector<State> next(keep);
+    for (size_t k = 0; k < keep; ++k) {
+      next[k].cost = candidates[k].cost;
+      next[k].cfg = beam[candidates[k].state].cfg;
+      next[k].cfg[static_cast<size_t>(vi)] = candidates[k].ci;
+    }
+    beam = std::move(next);
+  }
+
+  const State& best = beam.front();  // sorted: front is the minimum
+  result.strategy.assign(static_cast<size_t>(n), Config{});
+  for (NodeId v = 0; v < n; ++v)
+    result.strategy[static_cast<size_t>(v)] =
+        configs.at(v)[best.cfg[static_cast<size_t>(v)]];
+  // Report the authoritative Eq. (1) evaluation of the extracted strategy
+  // (equal to best.cost up to floating-point association).
+  result.best_cost = cost.total_cost(result.strategy);
 }
 
 /// Recursive back-substitution: assigns v^(i)'s best configuration under the
@@ -75,7 +172,31 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   std::vector<PositionState> states(static_cast<size_t>(n));
   std::vector<u32> cur_idx(static_cast<size_t>(n), 0);
 
+  // Guard/deadline trips either abort the exact DP (kOutOfMemory, the paper
+  // Table I outcome) or degrade gracefully to the beam-search fallback.
+  auto degrade_or_fail = [&](std::string reason) -> DpResult {
+    result.guard_reason = std::move(reason);
+    if (options.degraded_fallback) {
+      beam_search_fallback(graph, order, configs, cost, options.beam_width,
+                           result);
+      result.status = DpStatus::kDegraded;
+    } else {
+      result.status = DpStatus::kOutOfMemory;
+    }
+    result.elapsed_seconds = timer.elapsed_seconds();
+    return result;
+  };
+  auto deadline_expired = [&] {
+    return options.deadline_seconds > 0.0 &&
+           timer.elapsed_seconds() > options.deadline_seconds;
+  };
+
   for (i64 i = 0; i < n; ++i) {
+    if (deadline_expired())
+      return degrade_or_fail("deadline of " +
+                             fmt_count(options.deadline_seconds) +
+                             "s expired at vertex " + std::to_string(i) +
+                             " of " + std::to_string(n));
     const NodeId vi = order.seq[static_cast<size_t>(i)];
     const auto& vi_configs = configs.at(vi);
     PositionState& st = states[static_cast<size_t>(i)];
@@ -93,12 +214,16 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     for (NodeId d : st.dependent)
       combos *= static_cast<double>(configs.at(d).size());
     const double work = combos * static_cast<double>(vi_configs.size());
-    if (combos > static_cast<double>(options.max_table_entries) ||
-        work > static_cast<double>(options.max_combinations)) {
-      result.status = DpStatus::kOutOfMemory;
-      result.elapsed_seconds = timer.elapsed_seconds();
-      return result;
-    }
+    if (combos > static_cast<double>(options.max_table_entries))
+      return degrade_or_fail(
+          "substrategy table for vertex " + std::to_string(i) + " needs " +
+          fmt_count(combos) + " entries (guard: " +
+          std::to_string(options.max_table_entries) + ")");
+    if (work > static_cast<double>(options.max_combinations))
+      return degrade_or_fail(
+          "vertex " + std::to_string(i) + " needs " + fmt_count(work) +
+          " combination evaluations (guard: " +
+          std::to_string(options.max_combinations) + ")");
     result.max_combinations_analyzed = std::max(
         result.max_combinations_analyzed, static_cast<u64>(work));
 
@@ -152,7 +277,13 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
 
     // Odometer enumeration of all substrategies phi of D(i).
     std::vector<u32> odo(st.dependent.size(), 0);
+    u64 enumerated = 0;
     for (;;) {
+      if ((++enumerated & 8191u) == 0 && deadline_expired())
+        return degrade_or_fail(
+            "deadline of " + fmt_count(options.deadline_seconds) +
+            "s expired enumerating substrategies of vertex " +
+            std::to_string(i));
       for (size_t k = 0; k < st.dependent.size(); ++k)
         cur_idx[static_cast<size_t>(st.dependent[k])] = odo[k];
 

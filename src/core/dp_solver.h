@@ -11,10 +11,15 @@
 // connected-subset anchors. Tables are hash maps keyed by the configuration
 // choices of the dependent-set nodes. A table/work guard reports the same
 // out-of-memory outcome the paper observes for breadth-first ordering on
-// InceptionV3 and Transformer (Table I) without actually exhausting RAM.
+// InceptionV3 and Transformer (Table I) without actually exhausting RAM;
+// with DpOptions::degraded_fallback, a tripped guard (or an expired
+// wall-clock deadline) instead degrades gracefully to a bounded beam search
+// over the same vertex ordering and costs, returning a valid but possibly
+// suboptimal strategy with status kDegraded.
 #pragma once
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "config/config_enum.h"
@@ -35,13 +40,28 @@ struct DpOptions {
   /// Work guard: maximum (substrategies x configurations) combinations
   /// analyzed for a single vertex.
   u64 max_combinations = u64{2} << 30;
+
+  /// Wall-clock budget for the exact DP; 0 = unlimited. Expiry is treated
+  /// like a tripped guard (fallback or kOutOfMemory).
+  double deadline_seconds = 0.0;
+  /// Graceful degradation: when a guard or the deadline trips, run a
+  /// bounded beam search over the same ordering and recurrence costs
+  /// instead of returning no strategy (status kDegraded). Off by default so
+  /// the paper-reproduction benches keep reporting the Table I OOM outcome;
+  /// pase_cli enables it.
+  bool degraded_fallback = false;
+  /// Partial strategies kept per vertex by the fallback beam search.
+  i64 beam_width = 256;
 };
 
 enum class DpStatus {
   kOk,
-  kOutOfMemory,  ///< a guard tripped; no strategy produced
+  kOutOfMemory,  ///< a resource guard tripped (table size, work, or
+                 ///< deadline) with the fallback disabled; no strategy
   kInfeasible,   ///< a node has no admissible configuration (e.g. every
                  ///< choice violates the per-device memory cap)
+  kDegraded,     ///< a guard tripped, but the beam-search fallback produced
+                 ///< a valid (not necessarily optimal) strategy
 };
 
 struct DpResult {
@@ -55,6 +75,9 @@ struct DpResult {
   i64 max_configs = 0;                ///< K
   double elapsed_seconds = 0.0;
   std::vector<i64> dependent_set_sizes;  ///< |D(i)| per position
+
+  /// Which guard tripped, human-readable (set for kOutOfMemory/kDegraded).
+  std::string guard_reason;
 };
 
 /// Runs FindBestStrategy on `graph`. Deterministic: ties are broken by

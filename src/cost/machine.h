@@ -128,6 +128,33 @@ struct MachineSpec {
       m.device_flops[static_cast<size_t>(d)] = m.peak_flops * slow_fraction;
     return m;
   }
+
+  // Fault-injection perturbations (src/fault): both return *this so a
+  // FaultModel can chain them on a copy of the healthy spec.
+
+  /// Slows rank `rank` to 1/`slowdown` of its current speed (straggler:
+  /// thermal throttling, a sick host, a contended PCIe switch). Materializes
+  /// `device_flops` on first use so the remaining ranks keep their speed.
+  MachineSpec& slow_device(i64 rank, double slowdown) {
+    PASE_CHECK(rank >= 0 && rank < num_devices && slowdown >= 1.0);
+    if (device_flops.empty())
+      device_flops.assign(static_cast<size_t>(num_devices), peak_flops);
+    device_flops[static_cast<size_t>(rank)] /= slowdown;
+    return *this;
+  }
+
+  /// Scales link bandwidths by the given factors in (0, 1] (degraded PCIe
+  /// lane width, a flapping or rate-limited NIC). The analytical-model B
+  /// follows the weakest of the two scaled links, matching how the presets
+  /// derive it.
+  MachineSpec& scale_links(double intra_factor, double inter_factor) {
+    PASE_CHECK(intra_factor > 0 && intra_factor <= 1.0);
+    PASE_CHECK(inter_factor > 0 && inter_factor <= 1.0);
+    intra_node_bandwidth = intra_bw() * intra_factor;
+    inter_node_bandwidth = inter_bw() * inter_factor;
+    link_bandwidth = std::min(intra_node_bandwidth, inter_node_bandwidth);
+    return *this;
+  }
 };
 
 }  // namespace pase

@@ -1,0 +1,54 @@
+#include "fault/fault_model.h"
+
+#include <cmath>
+#include <memory>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pase {
+
+FaultModel::FaultModel(FaultSpec spec, u64 seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+MachineSpec FaultModel::perturb(MachineSpec healthy) const {
+  PASE_CHECK_MSG(validate_fault_spec(spec_, healthy.num_devices).empty(),
+                 "fault spec not valid for this machine");
+  for (const StragglerFault& s : spec_.stragglers)
+    healthy.slow_device(s.rank, s.slowdown);
+  if (spec_.links.active())
+    healthy.scale_links(spec_.links.intra_factor, spec_.links.inter_factor);
+  return healthy;
+}
+
+SimPerturbation FaultModel::scenario_perturbation(u64 scenario) const {
+  SimPerturbation pert;
+  const double sigma = spec_.jitter_sigma;
+  if (sigma <= 0.0) return pert;  // identity: null comm_factor
+  // The callable owns its RNG so repeated simulate() calls with a fresh
+  // perturbation replay the identical stream.
+  auto rng = std::make_shared<Rng>(hash_combine(seed_, scenario));
+  pert.comm_factor = [rng, sigma] {
+    // Box-Muller; 1 - u keeps the log argument in (0, 1].
+    const double u1 = 1.0 - rng->uniform_double();
+    const double u2 = rng->uniform_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return std::exp(sigma * z - 0.5 * sigma * sigma);
+  };
+  return pert;
+}
+
+double FaultModel::checkpoint_overhead_s(double step_time_s) const {
+  const DeviceDropout& d = spec_.dropout;
+  if (!d.active() && d.checkpoint_write_s <= 0.0) return 0.0;
+  const double amortized_write =
+      d.checkpoint_write_s / d.checkpoint_interval_steps;
+  const double expected_rework =
+      d.failures_per_step *
+      (d.restart_s + 0.5 * d.checkpoint_interval_steps * step_time_s);
+  return amortized_write + expected_rework;
+}
+
+}  // namespace pase

@@ -1,0 +1,52 @@
+// Seeded, deterministic realization of a FaultSpec.
+//
+// The deterministic faults (stragglers, link degradation) perturb a copy of
+// the healthy MachineSpec, which both the analytical cost model and the
+// discrete-event simulator consume unchanged — a straggler lowers that
+// rank's device_flops, a degraded link lowers the bandwidth fields. The
+// stochastic fault (link jitter) is realized as a per-scenario
+// SimPerturbation whose sample stream derives from (seed, scenario index),
+// so the same seed and spec reproduce bit-identical simulations. Device
+// dropout enters as an amortized per-step checkpoint/restart overhead (see
+// checkpoint_overhead_s).
+#pragma once
+
+#include "cost/machine.h"
+#include "fault/fault_spec.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace pase {
+
+class FaultModel {
+ public:
+  explicit FaultModel(FaultSpec spec, u64 seed = 1);
+
+  const FaultSpec& spec() const { return spec_; }
+  u64 seed() const { return seed_; }
+
+  /// The healthy machine with all deterministic faults applied. Straggler
+  /// ranks must be in range (see validate_fault_spec).
+  MachineSpec perturb(MachineSpec healthy) const;
+
+  /// The jitter stream for scenario `scenario`: a mean-one log-normal
+  /// multiplier exp(sigma * z - sigma^2 / 2), z ~ N(0, 1), drawn once per
+  /// communication in simulation order. Deterministic for (seed, scenario);
+  /// an identity perturbation when jitter_sigma == 0.
+  SimPerturbation scenario_perturbation(u64 scenario) const;
+
+  /// Expected per-step wall-clock overhead of the dropout model at step
+  /// time `step_time_s`:
+  ///
+  ///   write_s / interval  +  rate * (restart_s + interval/2 * step_time)
+  ///
+  /// i.e. amortized checkpoint writes plus, per expected failure, the
+  /// restart cost and the average half-interval of recomputed steps.
+  double checkpoint_overhead_s(double step_time_s) const;
+
+ private:
+  FaultSpec spec_;
+  u64 seed_;
+};
+
+}  // namespace pase

@@ -1,0 +1,132 @@
+#include "fault/fault_spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pase {
+
+namespace {
+
+/// Splits `s` on `sep`, keeping empty pieces (so "a::b" surfaces as an
+/// error downstream rather than silently collapsing).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t end = s.find(sep, start);
+    out.push_back(s.substr(start, end - start));
+    if (end == std::string::npos) return out;
+    start = end + 1;
+  }
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_i64(const std::string& s, i64* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  std::string out;
+  auto append = [&](const std::string& clause) {
+    if (!out.empty()) out += ',';
+    out += clause;
+  };
+  for (const StragglerFault& s : stragglers)
+    append("straggler=" + std::to_string(s.rank) + ":" + fmt(s.slowdown));
+  if (links.active())
+    append("links=" + fmt(links.intra_factor) + ":" +
+           fmt(links.inter_factor));
+  if (jitter_sigma > 0.0) append("jitter=" + fmt(jitter_sigma));
+  if (dropout.active())
+    append("dropout=" + fmt(dropout.failures_per_step) + ":" +
+           fmt(dropout.checkpoint_interval_steps) + ":" +
+           fmt(dropout.restart_s) + ":" + fmt(dropout.checkpoint_write_s));
+  return out.empty() ? "none" : out;
+}
+
+FaultSpecParseResult parse_fault_spec(const std::string& text) {
+  FaultSpecParseResult result;
+  auto fail = [&](const std::string& clause, const std::string& why) {
+    result.error = "fault clause '" + clause + "': " + why;
+    return result;
+  };
+
+  for (const std::string& clause : split(text, ',')) {
+    if (clause.empty()) return fail(clause, "empty clause");
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos)
+      return fail(clause, "expected key=value");
+    const std::string key = clause.substr(0, eq);
+    const std::vector<std::string> vals = split(clause.substr(eq + 1), ':');
+
+    if (key == "straggler") {
+      StragglerFault s;
+      if (vals.size() != 2 || !parse_i64(vals[0], &s.rank) ||
+          !parse_double(vals[1], &s.slowdown))
+        return fail(clause, "expected straggler=RANK:SLOWDOWN");
+      if (s.rank < 0) return fail(clause, "rank must be >= 0");
+      if (s.slowdown < 1.0)
+        return fail(clause, "slowdown must be >= 1");
+      result.spec.stragglers.push_back(s);
+    } else if (key == "links") {
+      LinkDegradation& l = result.spec.links;
+      if (vals.size() != 2 || !parse_double(vals[0], &l.intra_factor) ||
+          !parse_double(vals[1], &l.inter_factor))
+        return fail(clause, "expected links=INTRA:INTER");
+      if (l.intra_factor <= 0 || l.intra_factor > 1.0 ||
+          l.inter_factor <= 0 || l.inter_factor > 1.0)
+        return fail(clause, "factors must be in (0, 1]");
+    } else if (key == "jitter") {
+      if (vals.size() != 1 ||
+          !parse_double(vals[0], &result.spec.jitter_sigma))
+        return fail(clause, "expected jitter=SIGMA");
+      if (result.spec.jitter_sigma < 0)
+        return fail(clause, "sigma must be >= 0");
+    } else if (key == "dropout") {
+      DeviceDropout& d = result.spec.dropout;
+      if (vals.size() < 3 || vals.size() > 4 ||
+          !parse_double(vals[0], &d.failures_per_step) ||
+          !parse_double(vals[1], &d.checkpoint_interval_steps) ||
+          !parse_double(vals[2], &d.restart_s) ||
+          (vals.size() == 4 && !parse_double(vals[3], &d.checkpoint_write_s)))
+        return fail(clause, "expected dropout=RATE:INTERVAL:RESTART[:WRITE]");
+      if (d.failures_per_step < 0 || d.checkpoint_interval_steps < 1 ||
+          d.restart_s < 0 || d.checkpoint_write_s < 0)
+        return fail(clause,
+                    "rate/restart/write must be >= 0, interval >= 1");
+    } else {
+      return fail(clause, "unknown fault kind '" + key + "'");
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+std::string validate_fault_spec(const FaultSpec& spec, i64 num_devices) {
+  for (const StragglerFault& s : spec.stragglers) {
+    if (s.rank >= num_devices)
+      return "straggler rank " + std::to_string(s.rank) +
+             " out of range for " + std::to_string(num_devices) + " devices";
+  }
+  return "";
+}
+
+}  // namespace pase

@@ -1,0 +1,85 @@
+// Fault taxonomy for the robustness layer. The paper's evaluation (§IV)
+// assumes a healthy, homogeneous cluster; real training clusters see
+// stragglers, degraded links, transient network jitter and outright device
+// loss. A FaultSpec describes a set of such faults to inject; FaultModel
+// (fault_model.h) turns it into deterministic perturbations of a
+// MachineSpec and of the discrete-event simulator's communication timing.
+//
+// The four fault classes:
+//  * Straggler — rank r computes at 1/slowdown of its healthy speed
+//    (thermal throttling, a sick host, background tenants).
+//  * Link degradation — intra-node and/or inter-node bandwidth scaled by a
+//    factor in (0, 1] (lane-width downgrade, flapping or rate-limited NIC).
+//  * Link jitter — transient, zero-mean-in-log multiplicative noise on every
+//    communication, sampled per event from a seeded stream (congestion).
+//  * Device dropout — a device-loss rate with a checkpoint/restart cost
+//    model: amortized per-step overhead
+//      write_s / interval + rate * (restart_s + interval/2 * step_time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pase {
+
+struct StragglerFault {
+  i64 rank = 0;
+  double slowdown = 1.0;  ///< >= 1; device runs at 1/slowdown speed
+};
+
+struct LinkDegradation {
+  double intra_factor = 1.0;  ///< (0, 1]; multiplies intra-node bandwidth
+  double inter_factor = 1.0;  ///< (0, 1]; multiplies inter-node bandwidth
+  bool active() const { return intra_factor < 1.0 || inter_factor < 1.0; }
+};
+
+/// Device loss + checkpoint/restart recovery cost model. On a failure the
+/// job restarts from the last checkpoint, losing on average half a
+/// checkpoint interval of work plus a fixed restart cost.
+struct DeviceDropout {
+  double failures_per_step = 0.0;  ///< expected device-loss events per step
+  double checkpoint_interval_steps = 100.0;
+  double checkpoint_write_s = 0.0;  ///< wall-clock cost of one checkpoint
+  double restart_s = 30.0;          ///< re-init + weight reload on failure
+  bool active() const { return failures_per_step > 0.0; }
+};
+
+struct FaultSpec {
+  std::vector<StragglerFault> stragglers;
+  LinkDegradation links;
+  double jitter_sigma = 0.0;  ///< log-space std-dev of per-comm noise
+  DeviceDropout dropout;
+
+  bool empty() const {
+    return stragglers.empty() && !links.active() && jitter_sigma == 0.0 &&
+           !dropout.active();
+  }
+
+  /// Canonical one-line rendering in the parse_fault_spec() grammar.
+  std::string to_string() const;
+};
+
+struct FaultSpecParseResult {
+  bool ok = false;
+  std::string error;  ///< names the offending clause when !ok
+  FaultSpec spec;
+};
+
+/// Parses a comma-separated fault spec, e.g. the CLI's --faults argument:
+///
+///   straggler=RANK:SLOWDOWN      (repeatable)
+///   links=INTRA:INTER            (bandwidth factors in (0, 1])
+///   jitter=SIGMA                 (log-space std-dev, >= 0)
+///   dropout=RATE:INTERVAL:RESTART[:WRITE]
+///
+/// Example: "straggler=0:2.0,links=0.5:1.0,jitter=0.1,dropout=1e-4:100:30".
+/// Returns a structured error (never aborts) on malformed input.
+FaultSpecParseResult parse_fault_spec(const std::string& text);
+
+/// Checks `spec` against a concrete machine (straggler ranks in range).
+/// Returns an empty string when valid, otherwise a human-readable reason.
+std::string validate_fault_spec(const FaultSpec& spec, i64 num_devices);
+
+}  // namespace pase

@@ -1,0 +1,47 @@
+#include "fault/robustness.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pase {
+
+RobustnessReport evaluate_robustness(const Graph& graph,
+                                     const MachineSpec& healthy,
+                                     const Strategy& phi,
+                                     const FaultModel& model,
+                                     i64 num_scenarios) {
+  PASE_CHECK(num_scenarios >= 1);
+  RobustnessReport report;
+  report.num_scenarios = num_scenarios;
+
+  const Simulator healthy_sim(graph, healthy);
+  report.healthy = healthy_sim.simulate(phi);
+
+  const MachineSpec degraded_machine = model.perturb(healthy);
+  const Simulator degraded_sim(graph, degraded_machine);
+  report.degraded = degraded_sim.simulate(phi);
+  report.checkpoint_overhead_s =
+      model.checkpoint_overhead_s(report.degraded.step_time_s);
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (i64 k = 0; k < num_scenarios; ++k) {
+    const SimPerturbation pert =
+        model.scenario_perturbation(static_cast<u64>(k));
+    const double sim_s =
+        degraded_sim.simulate(phi, nullptr, &pert).step_time_s;
+    const double total_s = sim_s + model.checkpoint_overhead_s(sim_s);
+    sum += total_s;
+    sum_sq += total_s * total_s;
+    report.worst_step_time_s = std::max(report.worst_step_time_s, total_s);
+  }
+  const double n = static_cast<double>(num_scenarios);
+  report.mean_step_time_s = sum / n;
+  const double var =
+      std::max(0.0, sum_sq / n - report.mean_step_time_s *
+                                     report.mean_step_time_s);
+  report.stddev_s = std::sqrt(var);
+  return report;
+}
+
+}  // namespace pase

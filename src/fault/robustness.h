@@ -1,0 +1,43 @@
+// Robustness scoring: how a fixed strategy's simulated step time behaves
+// when the cluster is unhealthy. A strategy chosen for the ideal machine
+// can rank very differently once rank 0 straggles or a NIC degrades —
+// wide layers wait on the slow prefix device while narrower or
+// differently-split layers shrug it off — so the report is the basis for
+// the robustness ranking in bench/ablation_faults.
+#pragma once
+
+#include "fault/fault_model.h"
+#include "graph/graph.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace pase {
+
+struct RobustnessReport {
+  SimResult healthy;   ///< ideal machine, no faults
+  SimResult degraded;  ///< deterministic faults only (stragglers, links)
+  /// Statistics of total per-step time (jittered simulation + amortized
+  /// checkpoint/restart overhead) over the scenario distribution.
+  double mean_step_time_s = 0.0;
+  double worst_step_time_s = 0.0;
+  double stddev_s = 0.0;
+  /// Dropout overhead at the degraded (jitter-free) step time.
+  double checkpoint_overhead_s = 0.0;
+  i64 num_scenarios = 0;
+
+  /// Expected slowdown versus the healthy machine; the robustness score
+  /// (lower is more robust).
+  double slowdown() const { return mean_step_time_s / healthy.step_time_s; }
+};
+
+/// Simulates `phi` on the healthy machine, on the deterministically
+/// degraded machine, and over `num_scenarios` jittered scenarios drawn from
+/// `model`'s seed. Deterministic: identical inputs give a bit-identical
+/// report.
+RobustnessReport evaluate_robustness(const Graph& graph,
+                                     const MachineSpec& healthy,
+                                     const Strategy& phi,
+                                     const FaultModel& model,
+                                     i64 num_scenarios = 16);
+
+}  // namespace pase

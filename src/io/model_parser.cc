@@ -29,7 +29,21 @@ class Args {
         *error = "non-integer value in '" + token + "'";
         return false;
       }
-      values_[token.substr(0, eq)] = value;
+      const std::string key = token.substr(0, eq);
+      // Every key is a dimension extent except the spatial-split flag, so
+      // non-positive values can only be mistakes.
+      if (value < 1 && key != "spatial") {
+        *error = "non-positive value in '" + token + "'";
+        return false;
+      }
+      if (key == "spatial" && (value < 0 || value > 1)) {
+        *error = "spatial must be 0 or 1, got '" + token + "'";
+        return false;
+      }
+      if (!values_.emplace(key, value).second) {
+        *error = "duplicate key '" + key + "'";
+        return false;
+      }
     }
     return true;
   }

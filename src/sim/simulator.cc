@@ -61,9 +61,18 @@ std::string to_chrome_trace_json(const SimTrace& trace) {
   return out;
 }
 
-SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace) const {
+SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace,
+                              const SimPerturbation* perturbation) const {
   PASE_CHECK(static_cast<i64>(phi.size()) == graph_->num_nodes());
   const i64 p = machine_.num_devices;
+  // One draw per communication, in simulation order, whether or not the
+  // duration is zero — keeps the sample stream (and thus determinism)
+  // independent of which communications happen to be free.
+  auto jitter = [&] {
+    return perturbation && perturbation->comm_factor
+               ? perturbation->comm_factor()
+               : 1.0;
+  };
 
   // Per-device availability; finish[v] = time node v's outputs are ready.
   std::vector<double> avail(static_cast<size_t>(p), 0.0);
@@ -93,7 +102,7 @@ SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace) const {
       const i64 group =
           std::max<i64>(phi[static_cast<size_t>(e.src)].degree(), degree);
       ready = std::max(ready, finish[static_cast<size_t>(e.src)] +
-                                  transfer_time(bytes, group));
+                                  jitter() * transfer_time(bytes, group));
     }
 
     // Devices 0..degree-1 must be free (aligned prefix placement).
@@ -110,13 +119,13 @@ SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace) const {
     for (const CollectiveComm& c : layer_collectives(node, cfg, params_)) {
       switch (c.kind) {
         case CollectiveComm::Kind::kGradientAllReduce:
-          grad_comm_s += all_reduce_time(c.volume_bytes, c.group);
+          grad_comm_s += jitter() * all_reduce_time(c.volume_bytes, c.group);
           break;
         case CollectiveComm::Kind::kReduceAllReduce:
-          comm_s += all_reduce_time(c.volume_bytes, c.group);
+          comm_s += jitter() * all_reduce_time(c.volume_bytes, c.group);
           break;
         case CollectiveComm::Kind::kHaloExchange:
-          comm_s += transfer_time(c.bytes, c.group);
+          comm_s += jitter() * transfer_time(c.bytes, c.group);
           break;
       }
     }

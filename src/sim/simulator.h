@@ -19,6 +19,7 @@
 // times of strategies on the same machine, which this model preserves.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,16 @@ struct SimTrace {
   std::vector<TraceEvent> events;  ///< topological order
 };
 
+/// Per-run perturbation hook for fault injection (src/fault). `comm_factor`
+/// is invoked once per communication the simulator prices — input-tensor
+/// transfers and layer collectives, in the fixed (topological, edge-id)
+/// simulation order — and its result multiplies that communication's
+/// duration. Deterministic callables (e.g. a seeded RNG stream) therefore
+/// yield bit-identical SimResults for identical (graph, strategy, seed).
+struct SimPerturbation {
+  std::function<double()> comm_factor;  ///< multiplier >= 0; null = 1.0
+};
+
 /// Renders a trace in the Chrome trace-event JSON format (load in
 /// chrome://tracing or Perfetto; compute and communication phases appear
 /// as separate slices).
@@ -60,8 +71,10 @@ class Simulator {
   Simulator(const Graph& graph, MachineSpec machine);
 
   /// Simulates one training step under `phi`; optionally records the
-  /// per-layer timeline.
-  SimResult simulate(const Strategy& phi, SimTrace* trace = nullptr) const;
+  /// per-layer timeline and/or applies a fault perturbation to every
+  /// communication (see SimPerturbation).
+  SimResult simulate(const Strategy& phi, SimTrace* trace = nullptr,
+                     const SimPerturbation* perturbation = nullptr) const;
 
   /// step_time(baseline) / step_time(phi): the Fig. 6 y-axis with
   /// baseline = data parallelism.

@@ -192,6 +192,115 @@ TEST(DpSolver, TinyGuardTripsEvenWithGenerateSeq) {
   EXPECT_EQ(find_best_strategy(g, opt).status, DpStatus::kOutOfMemory);
 }
 
+TEST(DpSolver, GuardTripReportsReason) {
+  const Graph g = models::inception_v3();
+  auto opt = options_for(8);
+  opt.max_combinations = 10;
+  const DpResult r = find_best_strategy(g, opt);
+  EXPECT_EQ(r.status, DpStatus::kOutOfMemory);
+  EXPECT_FALSE(r.guard_reason.empty());
+}
+
+// ---- Graceful degradation: beam-search fallback on guard trips.
+
+TEST(DpSolver, FallbackProducesValidStrategyOnDenseGraph) {
+  // A dense random graph plus a tiny table guard forces the kOutOfMemory
+  // path; with the fallback enabled the solver must degrade, not die.
+  const Graph g = testing::random_graph(10, 20, 11);
+  DpOptions opt = options_for(8);
+  opt.max_table_entries = 4;  // trips at the first multi-node dependent set
+  opt.degraded_fallback = true;
+  const DpResult r = find_best_strategy(g, opt);
+  ASSERT_EQ(r.status, DpStatus::kDegraded);
+  EXPECT_FALSE(r.guard_reason.empty());
+  EXPECT_TRUE(strategy_valid(g, r.strategy, opt.config_options));
+  // The reported cost is the real Eq. (1) evaluation of the strategy.
+  const CostModel cm(g, opt.cost_params);
+  EXPECT_NEAR(cm.total_cost(r.strategy), r.best_cost, 1e-9 * r.best_cost);
+}
+
+TEST(DpSolver, FallbackWithinTenPercentOfBruteForce) {
+  // Small reference graphs where the true optimum is computable: the
+  // degraded answer must land within 10% of it.
+  for (u64 seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const Graph g = testing::random_graph(6, 6, seed);
+    DpOptions opt = options_for(4);
+    opt.max_combinations = 10;  // force the guard on every graph
+    opt.degraded_fallback = true;
+    const DpResult r = find_best_strategy(g, opt);
+    ASSERT_EQ(r.status, DpStatus::kDegraded) << "seed " << seed;
+    EXPECT_TRUE(strategy_valid(g, r.strategy, opt.config_options));
+    const auto bf = brute_force_search(g, opt.config_options, opt.cost_params);
+    ASSERT_TRUE(bf.has_value());
+    EXPECT_LE(r.best_cost, 1.10 * bf->best_cost) << "seed " << seed;
+    EXPECT_GE(r.best_cost, bf->best_cost * (1 - 1e-9)) << "seed " << seed;
+  }
+}
+
+TEST(DpSolver, FallbackSolvesBreadthFirstInception) {
+  // The paper's Table I failure case: BF ordering OOMs on InceptionV3. With
+  // graceful degradation the same run yields a usable strategy.
+  const Graph g = models::inception_v3();
+  auto opt = options_for(8, OrderingKind::kBreadthFirst);
+  opt.degraded_fallback = true;
+  opt.beam_width = 64;  // keep the 218-node fallback fast
+  const DpResult r = find_best_strategy(g, opt);
+  ASSERT_EQ(r.status, DpStatus::kDegraded);
+  EXPECT_TRUE(strategy_valid(g, r.strategy, opt.config_options));
+  // Degraded but useful: no worse than plain data parallelism.
+  const CostModel cm(g, opt.cost_params);
+  EXPECT_LE(r.best_cost,
+            cm.total_cost(data_parallel_strategy(g, 8)) * (1 + 1e-9));
+}
+
+TEST(DpSolver, FallbackIsDeterministic) {
+  const Graph g = testing::random_graph(10, 20, 11);
+  DpOptions opt = options_for(8);
+  opt.max_table_entries = 4;
+  opt.degraded_fallback = true;
+  const DpResult a = find_best_strategy(g, opt);
+  const DpResult b = find_best_strategy(g, opt);
+  ASSERT_EQ(a.status, DpStatus::kDegraded);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  ASSERT_EQ(a.strategy.size(), b.strategy.size());
+  for (size_t i = 0; i < a.strategy.size(); ++i)
+    EXPECT_EQ(a.strategy[i], b.strategy[i]);
+}
+
+TEST(DpSolver, DeadlineExpiresIntoFallback) {
+  const Graph g = models::inception_v3();
+  auto opt = options_for(8);
+  opt.deadline_seconds = 1e-9;  // expires immediately
+  opt.degraded_fallback = true;
+  opt.beam_width = 64;
+  const DpResult r = find_best_strategy(g, opt);
+  ASSERT_EQ(r.status, DpStatus::kDegraded);
+  EXPECT_NE(r.guard_reason.find("deadline"), std::string::npos)
+      << r.guard_reason;
+  EXPECT_TRUE(strategy_valid(g, r.strategy, opt.config_options));
+}
+
+TEST(DpSolver, DeadlineWithoutFallbackFailsWithReason) {
+  const Graph g = models::alexnet();
+  auto opt = options_for(8);
+  opt.deadline_seconds = 1e-9;
+  const DpResult r = find_best_strategy(g, opt);
+  EXPECT_EQ(r.status, DpStatus::kOutOfMemory);
+  EXPECT_NE(r.guard_reason.find("deadline"), std::string::npos);
+}
+
+TEST(DpSolver, InfeasibleBeatsFallback) {
+  // An unsatisfiable admission filter is a modeling problem, not a resource
+  // problem: the solver must keep reporting kInfeasible, never degrade.
+  const Graph g = models::alexnet();
+  auto opt = options_for(8);
+  opt.degraded_fallback = true;
+  opt.config_options.filter = [](const Node&, const Config&) {
+    return false;
+  };
+  EXPECT_EQ(find_best_strategy(g, opt).status, DpStatus::kInfeasible);
+}
+
 // ---- Diagnostics.
 
 TEST(DpSolver, ReportsDependentSetSizes) {

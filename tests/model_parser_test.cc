@@ -132,6 +132,54 @@ TEST(ModelParser, RejectsDuplicateNode) {
   EXPECT_NE(r.error.find("duplicate"), std::string::npos);
 }
 
+TEST(ModelParser, RejectsDuplicateKeyOnNodeLine) {
+  // Before: "n=8 n=16" silently overwrote (last wins). It must be an error,
+  // with the line number in the message.
+  const auto r = parse_model("pase-model v1\nnode a fc n=8 c=8 n=16\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate key 'n'"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+}
+
+TEST(ModelParser, RejectsNonPositiveDimensions) {
+  for (const char* bad : {"n=0", "n=-4", "c=0"}) {
+    const auto r = parse_model(std::string("pase-model v1\nnode a fc ") +
+                               bad + " n=8 c=8\n");
+    EXPECT_FALSE(r.ok) << bad;
+    // Either the non-positive value or (for the n=/c= collision cases) the
+    // duplicate is reported — never a silently accepted bad extent.
+    EXPECT_TRUE(r.error.find("non-positive") != std::string::npos ||
+                r.error.find("duplicate") != std::string::npos)
+        << bad << ": " << r.error;
+  }
+  const auto r = parse_model("pase-model v1\nnode a fc n=8 c=-1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("non-positive value in 'c=-1'"), std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+}
+
+TEST(ModelParser, RejectsNonPositiveBatchOverride) {
+  const auto r = parse_model(
+      "pase-model v1\nnode a fc b=0 n=8 c=8\nnode b softmax n=8\n"
+      "edge a b b:b n:n\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("non-positive"), std::string::npos) << r.error;
+}
+
+TEST(ModelParser, SpatialFlagMustBeBoolean) {
+  EXPECT_TRUE(parse_model("pase-model v1\n"
+                          "node a conv2d c=3 h=8 w=8 n=16 r=3 s=3 spatial=1\n")
+                  .ok);
+  EXPECT_TRUE(parse_model("pase-model v1\n"
+                          "node a conv2d c=3 h=8 w=8 n=16 r=3 s=3 spatial=0\n")
+                  .ok);
+  const auto r = parse_model(
+      "pase-model v1\nnode a conv2d c=3 h=8 w=8 n=16 r=3 s=3 spatial=2\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("spatial"), std::string::npos) << r.error;
+}
+
 TEST(ModelParser, CommentsAndBlankLinesIgnored) {
   const ModelParseResult r = parse_model(
       "pase-model v1\n\n# comment\nnode a fc n=8 c=8  # trailing\n"

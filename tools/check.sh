@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Sanitized robustness gate: builds everything with ASan+UBSan, runs the
+# unit suite, then feeds the malformed-model corpus through pase_cli and
+# checks that every file exits with its documented code (tests/corpus/
+# README.md) instead of crashing or tripping a sanitizer.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-asan)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="abort_on_error=0"
+
+fail=0
+note() { printf '== %s\n' "$*"; }
+bad() { printf 'FAIL: %s\n' "$*"; fail=1; }
+
+note "configuring sanitized build in $BUILD"
+cmake -B "$BUILD" -S "$ROOT" -DPASE_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > "$BUILD.configure.log" 2>&1 \
+  || { bad "cmake configure (see $BUILD.configure.log)"; exit 1; }
+
+note "building (-j$JOBS)"
+cmake --build "$BUILD" -j "$JOBS" > "$BUILD.build.log" 2>&1 \
+  || { bad "build (see $BUILD.build.log)"; exit 1; }
+
+note "running unit tests under sanitizers"
+(cd "$BUILD" && ctest --output-on-failure -j "$JOBS") || bad "ctest"
+
+CLI="$BUILD/tools/pase_cli"
+
+# expect <exit-code> <description> -- <cli args...>
+expect() {
+  local want="$1" what="$2"
+  shift 3
+  "$CLI" "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    bad "$what: expected exit $want, got $got ($CLI $*)"
+  else
+    note "ok ($want) $what"
+  fi
+}
+
+note "malformed-model corpus"
+expect 0 "valid control model" -- "$ROOT/tests/corpus/valid_tiny.pase" --devices 4
+for f in dup_key nonpositive_dim negative_dim unknown_op bad_edge \
+         missing_header unknown_directive garbage; do
+  expect 1 "corpus $f" -- "$ROOT/tests/corpus/$f.pase" --devices 4
+done
+expect 3 "infeasible model" -- \
+  "$ROOT/tests/corpus/infeasible.pase" --devices 4 --memory-gb 1
+
+note "CLI usage errors"
+expect 2 "no arguments" --
+expect 2 "bad numeric flag" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices banana
+expect 2 "bad fault spec" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --faults wobble=1
+
+note "degraded-mode acceptance (guard trip must still exit 0)"
+expect 0 "dense model degrades gracefully" -- \
+  "$ROOT/tools/dense_model.pase" --devices 4
+expect 1 "dense model under --strict" -- \
+  "$ROOT/tools/dense_model.pase" --devices 4 --strict
+
+if [ "$fail" -ne 0 ]; then
+  printf '\ncheck.sh: FAILURES\n'
+  exit 1
+fi
+printf '\ncheck.sh: all checks passed\n'

@@ -3,12 +3,33 @@
 //
 //   pase_cli <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]
 //            [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]
+//            [--deadline SECONDS] [--strict] [--beam-width N]
+//            [--faults SPEC] [--fault-aware] [--robustness N] [--seed S]
 //
 // Prints the best strategy (Table II style), its analytical cost, search
 // statistics and simulated step time; --baseline adds the data-parallel
 // comparison; --export writes the strategy in the pase-strategy format;
-// --trace writes the simulated step timeline as Chrome trace-event JSON
-// (open in chrome://tracing or Perfetto).
+// --trace writes the simulated step timeline as Chrome trace-event JSON.
+//
+// Robustness options:
+//   --faults SPEC    inject faults (see src/fault/fault_spec.h), e.g.
+//                    "straggler=0:2,links=0.5:1,jitter=0.1,dropout=1e-4:100:30";
+//                    prints a healthy-vs-faulted robustness report
+//   --fault-aware    run the strategy search against the degraded machine
+//                    instead of the healthy one
+//   --robustness N   jittered scenarios for the report (default 16)
+//   --seed S         fault-scenario seed (default 1)
+//
+// Degradation options: when the DP's table/work guard trips or --deadline
+// expires, the search falls back to a bounded beam search and still emits a
+// usable strategy, clearly labeled DEGRADED (exit 0). --strict restores the
+// old hard failure; --beam-width sizes the fallback.
+//
+// Exit codes:
+//   0  success (including a labeled degraded strategy)
+//   1  runtime error (unreadable file, bad model, guard trip under --strict)
+//   2  usage error (unknown flag, missing or malformed flag value)
+//   3  infeasible (no configuration satisfies the memory budget)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +38,8 @@
 
 #include "core/dp_solver.h"
 #include "core/strategy.h"
+#include "fault/fault_model.h"
+#include "fault/robustness.h"
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
 #include "search/baselines.h"
@@ -27,14 +50,57 @@ using namespace pase;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInfeasible = 3;
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]\n"
-      "          [--memory-gb G] [--baseline] [--export FILE] [--trace "
-      "FILE]\n",
+      "          [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]\n"
+      "          [--deadline SECONDS] [--strict] [--beam-width N]\n"
+      "          [--max-table-entries N] [--max-combinations N]\n"
+      "          [--faults SPEC] [--fault-aware] [--robustness N] [--seed "
+      "S]\n"
+      "\n"
+      "fault spec: comma-separated straggler=RANK:SLOWDOWN, links=INTRA:INTER,"
+      "\n            jitter=SIGMA, dropout=RATE:INTERVAL:RESTART[:WRITE]\n"
+      "exit codes: 0 ok (incl. degraded strategy)  1 runtime error\n"
+      "            2 usage error                   3 infeasible\n",
       argv0);
-  return 2;
+  return kExitUsage;
+}
+
+/// Strict numeric flag parsing: the whole value must parse, and the error
+/// names the flag and the offending value (no silent atoll-style zeros).
+bool parse_i64_flag(const char* flag, const char* value, i64 min, i64* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (*value == '\0' || *end != '\0' || v < min) {
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s (expected integer >= "
+                 "%lld)\n",
+                 value, flag, static_cast<long long>(min));
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_double_flag(const char* flag, const char* value, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (*value == '\0' || *end != '\0' || v <= 0.0) {
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s (expected positive "
+                 "number)\n",
+                 value, flag);
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -48,39 +114,89 @@ int main(int argc, char** argv) {
   bool baseline = false;
   const char* export_path = nullptr;
   const char* trace_path = nullptr;
+  double deadline_seconds = 0.0;
+  bool strict = false;
+  i64 beam_width = 256;
+  i64 max_table_entries = 0;  // 0 = DpOptions default
+  i64 max_combinations = 0;
+  const char* faults_arg = nullptr;
+  bool fault_aware = false;
+  i64 robustness_scenarios = 16;
+  i64 fault_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
-      devices = std::atoll(argv[++i]);
-    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
-      machine_name = argv[++i];
-    } else if (std::strcmp(argv[i], "--memory-gb") == 0 && i + 1 < argc) {
-      memory_gb = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+    const char* arg = argv[i];
+    auto value = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", arg);
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--devices") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &devices))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--machine") == 0) {
+      if (!value(&v)) return kExitUsage;
+      machine_name = v;
+    } else if (std::strcmp(arg, "--memory-gb") == 0) {
+      if (!value(&v) || !parse_double_flag(arg, v, &memory_gb))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--baseline") == 0) {
       baseline = true;
-    } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
-      export_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (argv[i][0] != '-' && !model_path) {
-      model_path = argv[i];
+    } else if (std::strcmp(arg, "--export") == 0) {
+      if (!value(&export_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (!value(&trace_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--deadline") == 0) {
+      if (!value(&v) || !parse_double_flag(arg, v, &deadline_seconds))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(arg, "--beam-width") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &beam_width))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--max-table-entries") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &max_table_entries))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--max-combinations") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &max_combinations))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      if (!value(&faults_arg)) return kExitUsage;
+    } else if (std::strcmp(arg, "--fault-aware") == 0) {
+      fault_aware = true;
+    } else if (std::strcmp(arg, "--robustness") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &robustness_scenarios))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 0, &fault_seed))
+        return kExitUsage;
+    } else if (arg[0] != '-' && !model_path) {
+      model_path = arg;
     } else {
+      std::fprintf(stderr, "error: unknown or repeated argument '%s'\n", arg);
       return usage(argv[0]);
     }
   }
-  if (!model_path || devices < 1) return usage(argv[0]);
+  if (!model_path) {
+    std::fprintf(stderr, "error: no model file given\n");
+    return usage(argv[0]);
+  }
 
   std::ifstream in(model_path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", model_path);
-    return 1;
+    return kExitRuntime;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
   const ModelParseResult model = parse_model(buffer.str());
   if (!model.ok) {
     std::fprintf(stderr, "error: %s: %s\n", model_path, model.error.c_str());
-    return 1;
+    return kExitRuntime;
   }
 
   MachineSpec machine;
@@ -91,39 +207,88 @@ int main(int argc, char** argv) {
   } else if (machine_name == "mixed") {
     machine = MachineSpec::mixed_cluster(devices);
   } else {
-    return usage(argv[0]);
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for --machine (expected 1080ti, "
+                 "2080ti or mixed)\n",
+                 machine_name.c_str());
+    return kExitUsage;
   }
+
+  FaultSpec fault_spec;
+  if (faults_arg) {
+    const FaultSpecParseResult parsed = parse_fault_spec(faults_arg);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "error: --faults: %s\n", parsed.error.c_str());
+      return kExitUsage;
+    }
+    fault_spec = parsed.spec;
+    const std::string invalid = validate_fault_spec(fault_spec, devices);
+    if (!invalid.empty()) {
+      std::fprintf(stderr, "error: --faults: %s\n", invalid.c_str());
+      return kExitUsage;
+    }
+  } else if (fault_aware) {
+    std::fprintf(stderr, "error: --fault-aware requires --faults\n");
+    return kExitUsage;
+  }
+  const FaultModel fault_model(fault_spec, static_cast<u64>(fault_seed));
 
   DpOptions options;
   options.config_options.max_devices = devices;
-  options.cost_params = CostParams::for_machine(machine);
+  // Fault-aware search prices compute/communication on the degraded
+  // machine (weakest-device rule, degraded links), so the found strategy
+  // is the best one for the cluster as it actually is.
+  const MachineSpec search_machine =
+      fault_aware ? fault_model.perturb(machine) : machine;
+  options.cost_params = CostParams::for_machine(search_machine);
+  options.deadline_seconds = deadline_seconds;
+  options.degraded_fallback = !strict;
+  options.beam_width = beam_width;
+  if (max_table_entries > 0)
+    options.max_table_entries = static_cast<u64>(max_table_entries);
+  if (max_combinations > 0)
+    options.max_combinations = static_cast<u64>(max_combinations);
   if (memory_gb > 0)
     options.config_options.filter = memory_config_filter(memory_gb * 1e9);
 
   const DpResult r = find_best_strategy(model.graph, options);
   if (r.status == DpStatus::kOutOfMemory) {
-    std::fprintf(stderr, "error: solver table guard tripped (graph too "
-                         "dense for the DP)\n");
-    return 1;
+    std::fprintf(stderr,
+                 "error: solver guard tripped (%s); rerun without --strict "
+                 "for a degraded strategy\n",
+                 r.guard_reason.c_str());
+    return kExitRuntime;
   }
   if (r.status == DpStatus::kInfeasible) {
-    std::fprintf(stderr, "error: no configuration satisfies the %.1f GB "
-                         "memory budget for some layer\n",
+    std::fprintf(stderr,
+                 "error: infeasible: no configuration satisfies the %.1f GB "
+                 "memory budget for some layer\n",
                  memory_gb);
-    return 1;
+    return kExitInfeasible;
+  }
+  if (r.status == DpStatus::kDegraded) {
+    std::printf("*** DEGRADED STRATEGY ***\n"
+                "The exact search could not finish: %s.\n"
+                "Falling back to beam search (width %lld); the strategy "
+                "below is valid but\nmay be suboptimal.\n\n",
+                r.guard_reason.c_str(), static_cast<long long>(beam_width));
   }
 
   const std::string title =
       (model.name.empty() ? std::string(model_path) : model.name) + " on " +
-      std::to_string(devices) + "x " + machine.name;
+      std::to_string(devices) + "x " + machine.name +
+      (r.status == DpStatus::kDegraded ? " [degraded]" : "") +
+      (fault_aware ? " [fault-aware]" : "");
   std::fputs(strategy_table(title, model.graph, r.strategy).c_str(), stdout);
 
   const Simulator sim(model.graph, machine);
-  std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms\n",
+  std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms%s\n",
               static_cast<long long>(model.graph.num_nodes()),
               static_cast<long long>(r.max_configs),
               static_cast<long long>(r.max_dependent_set),
-              r.elapsed_seconds * 1e3);
+              r.elapsed_seconds * 1e3,
+              r.status == DpStatus::kDegraded ? "   [degraded: beam search]"
+                                              : "");
   std::printf("analytical cost: %.4g FLOP-equiv   simulated step: %.2f ms   "
               "per-device memory: %.2f GB\n",
               r.best_cost, sim.simulate(r.strategy).step_time_s * 1e3,
@@ -138,11 +303,29 @@ int main(int argc, char** argv) {
                 sim.speedup(r.strategy, dp));
   }
 
+  if (faults_arg) {
+    const RobustnessReport rep =
+        evaluate_robustness(model.graph, machine, r.strategy, fault_model,
+                            robustness_scenarios);
+    std::printf("\nfault injection: %s (seed %lld, %lld scenarios)\n",
+                fault_spec.to_string().c_str(),
+                static_cast<long long>(fault_seed),
+                static_cast<long long>(robustness_scenarios));
+    std::printf("healthy step: %.2f ms   degraded step: %.2f ms   "
+                "expected: %.2f ms (worst %.2f, stddev %.2f)\n",
+                rep.healthy.step_time_s * 1e3,
+                rep.degraded.step_time_s * 1e3, rep.mean_step_time_s * 1e3,
+                rep.worst_step_time_s * 1e3, rep.stddev_s * 1e3);
+    std::printf("checkpoint/restart overhead: %.2f ms/step   expected "
+                "slowdown under faults: %.2fx\n",
+                rep.checkpoint_overhead_s * 1e3, rep.slowdown());
+  }
+
   if (export_path) {
     std::ofstream out(export_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", export_path);
-      return 1;
+      return kExitRuntime;
     }
     out << write_strategy(model.graph, r.strategy);
     std::printf("strategy written to %s\n", export_path);
@@ -154,10 +337,10 @@ int main(int argc, char** argv) {
     std::ofstream out(trace_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", trace_path);
-      return 1;
+      return kExitRuntime;
     }
     out << to_chrome_trace_json(trace);
     std::printf("chrome trace written to %s\n", trace_path);
   }
-  return 0;
+  return kExitOk;
 }
