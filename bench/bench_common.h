@@ -20,12 +20,17 @@ inline const std::vector<i64>& device_counts() {
   return p;
 }
 
+/// `num_threads` follows DpOptions: 0 = hardware concurrency (the default
+/// here — benches exploit all cores; DP results are bit-identical at any
+/// thread count, so this only changes wall-clock columns), 1 = sequential.
 inline DpOptions dp_options(const MachineSpec& m,
-                            OrderingKind ordering = OrderingKind::kGenerateSeq) {
+                            OrderingKind ordering = OrderingKind::kGenerateSeq,
+                            i64 num_threads = 0) {
   DpOptions opt;
   opt.config_options.max_devices = m.num_devices;
   opt.cost_params = CostParams::for_machine(m);
   opt.ordering = ordering;
+  opt.num_threads = num_threads;
   return opt;
 }
 

@@ -6,30 +6,60 @@
 // (AlexNet, RNNLM) but goes OOM on InceptionV3 and Transformer; the MCMC
 // search is orders of magnitude slower than Ours; Ours grows with p but
 // stays interactive.
+//
+// The "Ours/1t" vs "Ours/Nt" columns time the identical DP sequentially and
+// with the threaded fan-out (see --threads below). The chosen strategy and
+// cost are bit-identical by construction; this binary verifies that on
+// every cell and aborts loudly on any mismatch.
+//
+// Usage: table1_search_time [--threads N]   (default 4; 0 = hardware
+// concurrency). Speedups only materialize with as many cores as threads.
+#include <cstring>
+
 #include "bench_common.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace pase;
 
-int main() {
+int main(int argc, char** argv) {
+  i64 threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+  threads = ThreadPool::resolve(threads);
+
   const auto benchmarks = models::paper_benchmarks();
 
   TextTable table(
       "Table I: time to find parallelization strategies "
-      "(mins:secs.msecs; OOM = table guard tripped)");
+      "(mins:secs.msecs; OOM = table guard tripped; Nt = " +
+      std::to_string(threads) + " threads)");
   std::vector<std::string> header = {"p"};
   for (const auto& b : benchmarks) {
     header.push_back(b.name + "/BF");
     header.push_back(b.name + "/FlexFlow-like");
-    header.push_back(b.name + "/Ours");
+    header.push_back(b.name + "/Ours-1t");
+    header.push_back(b.name + "/Ours-" + std::to_string(threads) + "t");
   }
   table.set_header(header);
+
+  // Per-benchmark totals across p for the thread-speedup summary.
+  std::vector<double> total_1t(benchmarks.size(), 0.0);
+  std::vector<double> total_nt(benchmarks.size(), 0.0);
+  bool deterministic = true;
 
   for (const i64 p : bench::device_counts()) {
     const MachineSpec m = MachineSpec::gtx1080ti(p);
     std::vector<std::string> row = {std::to_string(p)};
-    for (const auto& b : benchmarks) {
+    for (size_t bi = 0; bi < benchmarks.size(); ++bi) {
+      const auto& b = benchmarks[bi];
       // BF ordering (the paper's naive recurrence): a modest table guard
       // keeps the OOM outcome fast instead of actually exhausting RAM.
       auto bf_opt = bench::dp_options(m, OrderingKind::kBreadthFirst);
@@ -42,18 +72,53 @@ int main() {
       const McmcResult mc = bench::run_flexflow_like(b.graph, m);
       row.push_back(format_mins_secs(mc.elapsed_seconds));
 
-      const DpResult ours = find_best_strategy(b.graph, bench::dp_options(m));
-      row.push_back(ours.status == DpStatus::kOk
-                        ? format_mins_secs(ours.elapsed_seconds)
+      const DpResult seq = find_best_strategy(
+          b.graph, bench::dp_options(m, OrderingKind::kGenerateSeq, 1));
+      row.push_back(seq.status == DpStatus::kOk
+                        ? format_mins_secs(seq.elapsed_seconds)
                         : "OOM");
+
+      const DpResult par = find_best_strategy(
+          b.graph,
+          bench::dp_options(m, OrderingKind::kGenerateSeq, threads));
+      row.push_back(par.status == DpStatus::kOk
+                        ? format_mins_secs(par.elapsed_seconds)
+                        : "OOM");
+
+      total_1t[bi] += seq.elapsed_seconds;
+      total_nt[bi] += par.elapsed_seconds;
+      // Bit-identical determinism contract: same status, cost and strategy
+      // at every thread count.
+      if (seq.status != par.status || seq.best_cost != par.best_cost ||
+          seq.strategy != par.strategy) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s at p=%lld differs between "
+                     "1 and %lld threads\n",
+                     b.name.c_str(), static_cast<long long>(p),
+                     static_cast<long long>(threads));
+      }
     }
     table.add_row(row);
   }
   table.print();
+
+  std::printf("\nThread speedup (sum over p, 1t / %lldt):\n",
+              static_cast<long long>(threads));
+  for (size_t bi = 0; bi < benchmarks.size(); ++bi)
+    std::printf("  %-14s %6.2fx  (%s -> %s)\n", benchmarks[bi].name.c_str(),
+                total_nt[bi] > 0 ? total_1t[bi] / total_nt[bi] : 1.0,
+                format_mins_secs(total_1t[bi]).c_str(),
+                format_mins_secs(total_nt[bi]).c_str());
+  std::printf("determinism check: %s (strategy, cost and status %s across "
+              "thread counts)\n",
+              deterministic ? "PASS" : "FAIL",
+              deterministic ? "bit-identical" : "DIFFER");
+
   std::printf(
       "\nNotes: the FlexFlow-like column runs the paper's MCMC (expert\n"
       "initial candidate, stop after no improvement for half the search or\n"
       "25k iterations) with full per-candidate evaluation, mirroring\n"
       "FlexFlow's simulator-based costing.\n");
-  return 0;
+  return deterministic ? 0 : 1;
 }

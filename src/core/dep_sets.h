@@ -4,6 +4,12 @@
 // the DP solver for any ordering, and serve as the reference implementation
 // against which GenerateSeq's incrementally-maintained v.d sets are verified
 // (Theorem 2).
+//
+// Thread safety: these are pure functions of (graph, order, i) — no shared
+// mutable state, no caching. Concurrent calls on the same graph/ordering
+// are safe. `dependent` is sorted by node id; the DP solver relies on that
+// order when laying out its dense mixed-radix substrategy tables (see
+// dp_solver.cc), so it is part of this interface's contract.
 #pragma once
 
 #include <vector>

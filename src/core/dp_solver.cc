@@ -1,16 +1,23 @@
 #include "core/dp_solver.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <atomic>
+#include <optional>
 
 #include "core/dep_sets.h"
+#include "cost/cost_cache.h"
 #include "util/check.h"
-#include "util/hash.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pase {
 
 namespace {
+
+/// Below this many combination evaluations for a vertex, the fan-out is not
+/// worth the chunk bookkeeping and the vertex is processed on the calling
+/// thread. Has no effect on results, only on scheduling.
+constexpr u64 kParallelWorkThreshold = 4096;
 
 /// DP table entry: minimum cost R(i, phi) and the arg-min configuration of
 /// v^(i) for back-substitution.
@@ -18,9 +25,6 @@ struct Entry {
   double cost = 0.0;
   u32 cfg = 0;
 };
-
-using Key = std::vector<u32>;
-using Table = std::unordered_map<Key, Entry, VectorHash<u32>>;
 
 /// Compact number rendering for guard-reason diagnostics.
 std::string fmt_count(double v) {
@@ -30,20 +34,30 @@ std::string fmt_count(double v) {
 }
 
 /// Per-position DP state kept alive for anchor lookups and extraction.
+///
+/// The substrategy table R(i, .) is a dense vector indexed by the
+/// mixed-radix rank of phi: dependent[0] is the fastest-varying digit
+/// (stride 1), matching the odometer enumeration order, so an entry's index
+/// is sum_k cur_idx[dependent[k]] * stride[k]. Dense indexing replaces the
+/// seed's hash-map tables: every phi in the cross product is materialized
+/// anyway, and a rank computation is cheaper than hashing a key vector —
+/// and it gives each parallel worker a distinct, pre-sized slot to write,
+/// which is what makes the threaded fan-out race-free and deterministic.
 struct PositionState {
-  std::vector<NodeId> dependent;      ///< D(i), sorted by node id
-  std::vector<i64> anchors;           ///< S(i) anchor positions
-  Table table;
-};
+  std::vector<NodeId> dependent;  ///< D(i), sorted by node id
+  std::vector<i64> anchors;       ///< S(i) anchor positions
+  std::vector<u32> radix;         ///< |C(dependent[k])|
+  std::vector<u64> stride;        ///< mixed-radix strides, stride[0] = 1
+  std::vector<Entry> table;       ///< size = prod(radix)
 
-/// Builds the key for `nodes` from the current per-node config choices.
-Key make_key(const std::vector<u32>& cur_idx,
-             const std::vector<NodeId>& nodes) {
-  Key key;
-  key.reserve(nodes.size());
-  for (NodeId v : nodes) key.push_back(cur_idx[static_cast<size_t>(v)]);
-  return key;
-}
+  u64 index_of(const std::vector<u32>& cur_idx) const {
+    u64 idx = 0;
+    for (size_t k = 0; k < dependent.size(); ++k)
+      idx += static_cast<u64>(cur_idx[static_cast<size_t>(dependent[k])]) *
+             stride[k];
+    return idx;
+  }
+};
 
 /// Graceful-degradation fallback: a deterministic beam search over the same
 /// vertex ordering. A beam state is a configuration choice for every
@@ -141,11 +155,11 @@ void extract(const std::vector<PositionState>& states,
              const Ordering& order, const ConfigCache& configs,
              i64 pos, std::vector<u32>& cur_idx, Strategy& out) {
   const PositionState& st = states[static_cast<size_t>(pos)];
-  const auto it = st.table.find(make_key(cur_idx, st.dependent));
-  PASE_CHECK_MSG(it != st.table.end(), "missing DP entry during extraction");
+  const u64 idx = st.index_of(cur_idx);
+  PASE_CHECK_MSG(idx < st.table.size(), "missing DP entry during extraction");
   const NodeId vi = order.seq[static_cast<size_t>(pos)];
-  cur_idx[static_cast<size_t>(vi)] = it->second.cfg;
-  out[static_cast<size_t>(vi)] = configs.at(vi)[it->second.cfg];
+  cur_idx[static_cast<size_t>(vi)] = st.table[idx].cfg;
+  out[static_cast<size_t>(vi)] = configs.at(vi)[st.table[idx].cfg];
   for (i64 j : st.anchors) extract(states, order, configs, j, cur_idx, out);
 }
 
@@ -157,7 +171,24 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
 
   const Ordering order = make_ordering(graph, options.ordering);
   const ConfigCache configs(graph, options.config_options);
-  const CostModel cost(graph, options.cost_params);
+
+  std::optional<CostCache> cost_cache;
+  if (options.use_cost_cache) cost_cache.emplace(graph);
+  CostModel cost(graph, options.cost_params);
+  if (cost_cache) cost.attach_cache(&*cost_cache);
+  auto record_cache_stats = [&] {
+    if (!cost_cache) return;
+    result.cost_cache_hits = cost_cache->hits();
+    result.cost_cache_misses = cost_cache->misses();
+  };
+
+  // The pool is created per solve (worker startup is microseconds against
+  // search times of milliseconds and up); num_threads == 1 bypasses it.
+  const i64 threads = ThreadPool::resolve(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  result.threads_used = threads;
+
   const i64 n = graph.num_nodes();
 
   result.max_configs = configs.max_configs();
@@ -183,6 +214,7 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     } else {
       result.status = DpStatus::kOutOfMemory;
     }
+    record_cache_stats();
     result.elapsed_seconds = timer.elapsed_seconds();
     return result;
   };
@@ -190,6 +222,8 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     return options.deadline_seconds > 0.0 &&
            timer.elapsed_seconds() > options.deadline_seconds;
   };
+  // Cooperative cancellation across workers once the deadline expires.
+  std::atomic<bool> cancel{false};
 
   for (i64 i = 0; i < n; ++i) {
     if (deadline_expired())
@@ -226,6 +260,17 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
           std::to_string(options.max_combinations) + ")");
     result.max_combinations_analyzed = std::max(
         result.max_combinations_analyzed, static_cast<u64>(work));
+
+    st.radix.resize(st.dependent.size());
+    st.stride.resize(st.dependent.size());
+    u64 prod = 1;
+    for (size_t k = 0; k < st.dependent.size(); ++k) {
+      st.radix[k] =
+          static_cast<u32>(configs.at(st.dependent[k]).size());
+      st.stride[k] = prod;
+      prod *= st.radix[k];
+    }
+    PASE_CHECK(static_cast<double>(prod) == combos);
 
     // Precompute t_l(v^(i), C) for every C in C(v^(i)).
     std::vector<double> node_costs(vi_configs.size());
@@ -273,57 +318,85 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
                                                  st.dependent.end(), d));
     }
 
-    st.table.reserve(static_cast<size_t>(combos));
+    st.table.resize(static_cast<size_t>(prod));
 
-    // Odometer enumeration of all substrategies phi of D(i).
-    std::vector<u32> odo(st.dependent.size(), 0);
-    u64 enumerated = 0;
-    for (;;) {
-      if ((++enumerated & 8191u) == 0 && deadline_expired())
-        return degrade_or_fail(
-            "deadline of " + fmt_count(options.deadline_seconds) +
-            "s expired enumerating substrategies of vertex " +
-            std::to_string(i));
-      for (size_t k = 0; k < st.dependent.size(); ++k)
-        cur_idx[static_cast<size_t>(st.dependent[k])] = odo[k];
-
-      double base = 0.0;
-      for (i64 j : anchors_outer) {
-        const PositionState& sj = states[static_cast<size_t>(j)];
-        const auto it = sj.table.find(make_key(cur_idx, sj.dependent));
-        PASE_CHECK_MSG(it != sj.table.end(), "missing anchor DP entry");
-        base += it->second.cost;
+    // Evaluates the phi linear-index range [p0, p1), writing each best
+    // Entry to its own table slot. `cur` is the caller's scratch config-
+    // index vector (one per worker in the parallel fan-out, so workers
+    // never share mutable state; table writes are to disjoint slots).
+    // Identical code runs in the sequential and parallel paths, and each
+    // phi's config scan uses strict less-than in enumeration order, so the
+    // filled table is bit-identical however the range is split.
+    auto process_range = [&](u64 p0, u64 p1, std::vector<u32>& cur) {
+      const size_t kd = st.dependent.size();
+      std::vector<u32> odo(kd);
+      for (size_t k = 0; k < kd; ++k) {
+        odo[k] = static_cast<u32>((p0 / st.stride[k]) % st.radix[k]);
+        cur[static_cast<size_t>(st.dependent[k])] = odo[k];
       }
-
-      Entry best{std::numeric_limits<double>::infinity(), 0};
-      for (size_t ci = 0; ci < vi_configs.size(); ++ci) {
-        double c = base + node_costs[ci];
-        for (const LaterEdge& le : later_edges)
-          c += le.cost_matrix[ci * configs.at(le.other).size() +
-                              cur_idx[static_cast<size_t>(le.other)]];
-        if (!anchors_inner.empty()) {
-          cur_idx[static_cast<size_t>(vi)] = static_cast<u32>(ci);
-          for (i64 j : anchors_inner) {
-            const PositionState& sj = states[static_cast<size_t>(j)];
-            const auto it = sj.table.find(make_key(cur_idx, sj.dependent));
-            PASE_CHECK_MSG(it != sj.table.end(), "missing anchor DP entry");
-            c += it->second.cost;
+      for (u64 idx = p0; idx < p1; ++idx) {
+        if (((idx - p0) & 8191u) == 8191u) {
+          if (cancel.load(std::memory_order_relaxed)) return;
+          if (deadline_expired()) {
+            cancel.store(true, std::memory_order_relaxed);
+            return;
           }
         }
-        if (c < best.cost) best = Entry{c, static_cast<u32>(ci)};
-      }
-      st.table.emplace(make_key(cur_idx, st.dependent), best);
 
-      // Advance the odometer.
-      size_t k = 0;
-      for (; k < odo.size(); ++k) {
-        if (++odo[k] <
-            static_cast<u32>(configs.at(st.dependent[k]).size()))
-          break;
-        odo[k] = 0;
+        double base = 0.0;
+        for (i64 j : anchors_outer) {
+          const PositionState& sj = states[static_cast<size_t>(j)];
+          base += sj.table[sj.index_of(cur)].cost;
+        }
+
+        Entry best{std::numeric_limits<double>::infinity(), 0};
+        for (size_t ci = 0; ci < vi_configs.size(); ++ci) {
+          double c = base + node_costs[ci];
+          for (const LaterEdge& le : later_edges)
+            c += le.cost_matrix[ci * configs.at(le.other).size() +
+                                cur[static_cast<size_t>(le.other)]];
+          if (!anchors_inner.empty()) {
+            cur[static_cast<size_t>(vi)] = static_cast<u32>(ci);
+            for (i64 j : anchors_inner) {
+              const PositionState& sj = states[static_cast<size_t>(j)];
+              c += sj.table[sj.index_of(cur)].cost;
+            }
+          }
+          if (c < best.cost) best = Entry{c, static_cast<u32>(ci)};
+        }
+        st.table[idx] = best;
+
+        // Advance the odometer (digit k = dependent[k], stride order).
+        for (size_t k = 0; k < kd; ++k) {
+          if (++odo[k] < st.radix[k]) {
+            cur[static_cast<size_t>(st.dependent[k])] = odo[k];
+            break;
+          }
+          odo[k] = 0;
+          cur[static_cast<size_t>(st.dependent[k])] = 0;
+        }
       }
-      if (k == odo.size()) break;
+    };
+
+    if (pool && prod > 1 && static_cast<u64>(work) >= kParallelWorkThreshold) {
+      // Chunk the phi range by index only — the decomposition (and hence
+      // every table entry) is independent of scheduling and thread count.
+      const i64 grain = std::max<i64>(
+          64, ceil_div(static_cast<i64>(prod), threads * 8));
+      pool->parallel_for(0, static_cast<i64>(prod), grain,
+                         [&](i64 b0, i64 b1) {
+                           std::vector<u32> cur(static_cast<size_t>(n), 0);
+                           process_range(static_cast<u64>(b0),
+                                         static_cast<u64>(b1), cur);
+                         });
+    } else {
+      process_range(0, prod, cur_idx);
     }
+    if (cancel.load(std::memory_order_relaxed))
+      return degrade_or_fail(
+          "deadline of " + fmt_count(options.deadline_seconds) +
+          "s expired enumerating substrategies of vertex " +
+          std::to_string(i));
   }
 
   // For a weakly connected graph the last vertex covers everything:
@@ -349,9 +422,8 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   for (i64 root : roots) {
     const PositionState& st = states[static_cast<size_t>(root)];
     PASE_CHECK(st.dependent.empty());
-    const auto it = st.table.find(Key{});
-    PASE_CHECK(it != st.table.end());
-    result.best_cost += it->second.cost;
+    PASE_CHECK(st.table.size() == 1);
+    result.best_cost += st.table[0].cost;
     // Back-substitution (paper: "a simple back-substitution, starting from
     // v^(|V|).cfg, provides the best strategy").
     extract(states, order, configs, root, cur_idx, result.strategy);
@@ -359,6 +431,7 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   for (const Config& c : result.strategy)
     PASE_CHECK_MSG(c.rank() > 0, "extraction must assign every node");
 
+  record_cache_stats();
   result.elapsed_seconds = timer.elapsed_seconds();
   return result;
 }

@@ -16,6 +16,26 @@
 // wall-clock deadline) instead degrades gracefully to a bounded beam search
 // over the same vertex ordering and costs, returning a valid but possibly
 // suboptimal strategy with status kDegraded.
+//
+// Parallel execution and determinism contract
+// -------------------------------------------
+// The per-vertex inner loop of recurrence (4) is embarrassingly parallel:
+// every substrategy phi of D(i) is evaluated independently and written to
+// its own slot of a dense mixed-radix table (earlier vertices' tables are
+// only read). With DpOptions::num_threads != 1 the solver fans these
+// evaluations across a work-stealing ThreadPool, decomposing the phi index
+// range into fixed chunks by index — never by scheduling — and each phi's
+// minimization scans configurations in enumeration order with strict
+// less-than, exactly as the sequential loop does. Consequently the returned
+// strategy, cost, status and diagnostics are BIT-IDENTICAL at every thread
+// count (verified by tests/determinism_test.cc); only elapsed_seconds
+// varies. The cost-model memoization cache (DpOptions::use_cost_cache) is
+// likewise invisible in the results: cost functions are pure, so cache hits
+// return the same bits a recomputation would.
+//
+// find_best_strategy() itself is a pure function of (graph, options) plus
+// wall-clock effects (deadline): concurrent calls from different threads
+// are safe, as each call owns all of its mutable state.
 #pragma once
 
 #include <limits>
@@ -52,6 +72,16 @@ struct DpOptions {
   bool degraded_fallback = false;
   /// Partial strategies kept per vertex by the fallback beam search.
   i64 beam_width = 256;
+
+  /// Worker threads for the per-vertex configuration x substrategy fan-out:
+  /// 1 = sequential (no pool), 0 = hardware concurrency, N = exactly N.
+  /// Results are bit-identical at any setting (see file comment).
+  i64 num_threads = 1;
+
+  /// Memoize t_l/t_x across structurally identical layers and edges (see
+  /// cost/cost_cache.h). Never changes results; pase_cli --no-cost-cache
+  /// disables it for ablation.
+  bool use_cost_cache = true;
 };
 
 enum class DpStatus {
@@ -78,6 +108,12 @@ struct DpResult {
 
   /// Which guard tripped, human-readable (set for kOutOfMemory/kDegraded).
   std::string guard_reason;
+
+  /// Worker threads actually used (DpOptions::num_threads resolved).
+  i64 threads_used = 1;
+  /// Cost-cache statistics (both zero when the cache is disabled).
+  u64 cost_cache_hits = 0;
+  u64 cost_cache_misses = 0;
 };
 
 /// Runs FindBestStrategy on `graph`. Deterministic: ties are broken by

@@ -1,0 +1,123 @@
+// Sharded, thread-safe memoization of cost-model queries.
+//
+// Real DNNs repeat structure — the Transformer stacks 6 identical encoder
+// layers, InceptionV3 repeats whole modules — so the DP solver, the
+// exhaustive baseline and the MCMC search keep re-evaluating t_l and t_x
+// for layers/edges that are byte-for-byte copies of one another. The cache
+// groups nodes (and edges) into *structural equivalence classes* at
+// construction by comparing every field the cost model reads (iteration
+// space extents, FLOP density, parameter tensors, reduction dims, halos,
+// output spec; edge tensor shape and dim maps), then memoizes
+//   (node class, configuration)            -> t_l
+//   (edge class, src config, dst config)   -> r * t_x
+// Class construction is exact (full structural comparison, no hashing
+// shortcut), so a cache hit is guaranteed to return the same value the
+// direct computation would.
+//
+// Thread-safety and determinism contract:
+//  * lookup/store are safe from any number of threads; the table is split
+//    into 16 independently locked shards to keep contention negligible.
+//  * Cost functions are pure, so whichever thread computes a value first
+//    stores exactly the bits every other thread would have computed —
+//    caching never perturbs results, at any thread count.
+//  * hits()/misses() are monotonic relaxed counters for diagnostics only.
+//
+// A CostCache is built against one Graph and must only be attached to
+// CostModels over that same graph *with identical CostParams* (the cached
+// values bake the params in). The DP solver constructs one per solve.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.h"
+#include "graph/graph.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace pase {
+
+class CostCache {
+ public:
+  explicit CostCache(const Graph& graph);
+
+  /// Structural class ids (nodes with equal ids have identical cost
+  /// behaviour for every configuration; likewise edges).
+  u32 node_class(NodeId v) const {
+    return node_class_[static_cast<size_t>(v)];
+  }
+  u32 edge_class(EdgeId e) const {
+    return edge_class_[static_cast<size_t>(e)];
+  }
+  i64 num_node_classes() const { return num_node_classes_; }
+  i64 num_edge_classes() const { return num_edge_classes_; }
+
+  /// True (and *out filled) on a hit for t_l(node class of v, c).
+  bool lookup_node(NodeId v, const Config& c, double* out) const;
+  void store_node(NodeId v, const Config& c, double cost);
+
+  /// True (and *out filled) on a hit for the edge cost of e under
+  /// (src, dst) configurations.
+  bool lookup_edge(EdgeId e, const Config& src, const Config& dst,
+                   double* out) const;
+  void store_edge(EdgeId e, const Config& src, const Config& dst,
+                  double cost);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct NodeKey {
+    u32 cls;
+    Config cfg;
+    bool operator==(const NodeKey& o) const {
+      return cls == o.cls && cfg == o.cfg;
+    }
+  };
+  struct EdgeKey {
+    u32 cls;
+    Config src, dst;
+    bool operator==(const EdgeKey& o) const {
+      return cls == o.cls && src == o.src && dst == o.dst;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      return static_cast<size_t>(hash_combine(k.cfg.hash(), k.cls));
+    }
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const {
+      return static_cast<size_t>(
+          hash_combine(hash_combine(k.src.hash(), k.dst.hash()), k.cls));
+    }
+  };
+
+  static constexpr size_t kShards = 16;
+  struct NodeShard {
+    mutable std::mutex mu;
+    std::unordered_map<NodeKey, double, NodeKeyHash> map;
+  };
+  struct EdgeShard {
+    mutable std::mutex mu;
+    std::unordered_map<EdgeKey, double, EdgeKeyHash> map;
+  };
+
+  static size_t shard_of(u64 h) { return static_cast<size_t>(h % kShards); }
+
+  std::vector<u32> node_class_;
+  std::vector<u32> edge_class_;
+  i64 num_node_classes_ = 0;
+  i64 num_edge_classes_ = 0;
+
+  std::array<NodeShard, kShards> node_shards_;
+  std::array<EdgeShard, kShards> edge_shards_;
+
+  mutable std::atomic<u64> hits_{0};
+  mutable std::atomic<u64> misses_{0};
+};
+
+}  // namespace pase

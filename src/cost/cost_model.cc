@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cost/cost_cache.h"
 #include "util/check.h"
 
 namespace pase {
@@ -140,6 +141,25 @@ double transfer_bytes(const Edge& edge, const Config& src_config,
   const double bwd =
       deg_u > deg_v ? need_u : std::max(0.0, need_u - overlap);
   return (fwd + bwd) * params.bytes_per_element;
+}
+
+double CostModel::cached_node_cost(NodeId v, const Config& config) const {
+  double c;
+  if (cache_->lookup_node(v, config, &c)) return c;
+  c = layer_cost(graph_->node(v), config, params_);
+  cache_->store_node(v, config, c);
+  return c;
+}
+
+double CostModel::cached_edge_cost(const Edge& e, const Config& src_config,
+                                   const Config& dst_config) const {
+  if (e.id < 0)  // synthetic edge not registered in the graph: no memo slot
+    return params_.r * transfer_bytes(e, src_config, dst_config, params_);
+  double c;
+  if (cache_->lookup_edge(e.id, src_config, dst_config, &c)) return c;
+  c = params_.r * transfer_bytes(e, src_config, dst_config, params_);
+  cache_->store_edge(e.id, src_config, dst_config, c);
+  return c;
 }
 
 CostBreakdown CostModel::evaluate(const Strategy& phi) const {

@@ -1,0 +1,115 @@
+// Work-stealing thread pool used by the search engines (DP solver,
+// exhaustive search, multi-chain MCMC) to fan independent cost evaluations
+// across cores.
+//
+// Thread-safety and determinism contract:
+//  * submit() and parallel_for() may be called from any thread, including
+//    from inside a pool task (nested submission is supported; a task that
+//    must wait on another task should do so via wait(), which executes
+//    pending work instead of blocking a worker).
+//  * parallel_for() decomposes [begin, end) into fixed chunks by index, so
+//    the mapping of iteration -> chunk is a pure function of (begin, end,
+//    grain) and never depends on the number of threads or on scheduling.
+//    Callers that write only to disjoint, index-addressed slots therefore
+//    produce bit-identical results at any thread count — this is the
+//    property the DP solver's determinism guarantee rests on.
+//  * Exceptions thrown by tasks are captured: submit() rethrows from the
+//    returned future; parallel_for() rethrows the exception of the
+//    *lowest-indexed* failing chunk (again independent of scheduling).
+//  * All public members are safe to call concurrently. The pool itself
+//    must outlive every future obtained from it; the destructor drains
+//    queued tasks before joining.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pase {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1). A 1-thread pool still works (parallel_for degrades to a
+  /// sequential loop on the calling thread).
+  explicit ThreadPool(i64 num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  i64 num_threads() const { return static_cast<i64>(workers_.size()); }
+
+  /// Resolves the `0 = hardware concurrency` convention used by options
+  /// structs (DpOptions::num_threads, pase_cli --threads).
+  static i64 resolve(i64 requested);
+
+  /// Schedules `f` and returns a future for its result. The task runs on
+  /// whichever worker dequeues it; if called from inside a pool task the
+  /// new task is pushed to the submitting worker's own deque (and may be
+  /// stolen by idle workers — the "work-stealing" part).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    push([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs body(chunk_begin, chunk_end) over a fixed, scheduling-independent
+  /// decomposition of [begin, end) into chunks of `grain` indices (last
+  /// chunk may be short). The calling thread participates. Blocks until all
+  /// chunks have run; rethrows the lowest-chunk exception if any body threw
+  /// (remaining chunks are skipped once a failure is recorded).
+  void parallel_for(i64 begin, i64 end, i64 grain,
+                    const std::function<void(i64, i64)>& body);
+
+  /// Waits for `fut` while helping execute pending pool work, so a task may
+  /// submit subtasks and wait on them without deadlocking even on a
+  /// 1-thread pool. Returns fut.get() (rethrowing its exception, if any).
+  template <typename T>
+  T wait(std::future<T>& fut) {
+    while (fut.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!run_one()) std::this_thread::yield();
+    }
+    return fut.get();
+  }
+
+  /// Executes one pending task if any is available (own deque first, then
+  /// stealing from the other workers). Returns false when every deque was
+  /// empty. Public so callers can help drain the pool while polling.
+  bool run_one();
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  void push(std::function<void()> task);
+  void worker_main(i64 slot);
+  bool try_pop(i64 slot, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  i64 queued_ = 0;  ///< tasks pushed but not yet popped (guarded by idle_mu_)
+  bool stop_ = false;
+
+  std::atomic<u64> rr_{0};  ///< round-robin cursor for external submissions
+};
+
+}  // namespace pase

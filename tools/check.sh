@@ -2,9 +2,14 @@
 # Sanitized robustness gate: builds everything with ASan+UBSan, runs the
 # unit suite, then feeds the malformed-model corpus through pase_cli and
 # checks that every file exits with its documented code (tests/corpus/
-# README.md) instead of crashing or tripping a sanitizer.
+# README.md) instead of crashing or tripping a sanitizer. A second build
+# under TSan (-DPASE_SANITIZE=thread) runs the concurrency-relevant tests
+# (ThreadPool, CostCache, Determinism, DpSolver) to catch data races in the
+# parallel search engine. Finally a docs gate cross-checks README.md
+# against `pase_cli --help` so flag documentation cannot drift.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-asan)
+# Usage: tools/check.sh [build-dir]   (default: build-asan; the TSan build
+# goes in <build-dir>-tsan)
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -65,6 +70,44 @@ expect 0 "dense model degrades gracefully" -- \
   "$ROOT/tools/dense_model.pase" --devices 4
 expect 1 "dense model under --strict" -- \
   "$ROOT/tools/dense_model.pase" --devices 4 --strict
+
+TSAN_BUILD="$BUILD-tsan"
+note "configuring TSan build in $TSAN_BUILD"
+cmake -B "$TSAN_BUILD" -S "$ROOT" -DPASE_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > "$TSAN_BUILD.configure.log" 2>&1 \
+  || bad "TSan cmake configure (see $TSAN_BUILD.configure.log)"
+if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
+  note "building TSan tests (-j$JOBS)"
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target pase_tests \
+        > "$TSAN_BUILD.build.log" 2>&1 \
+    || bad "TSan build (see $TSAN_BUILD.build.log)"
+  if [ -x "$TSAN_BUILD/tests/pase_tests" ]; then
+    note "running concurrency tests under TSan"
+    TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/pase_tests" \
+        --gtest_filter='ThreadPool.*:CostCache.*:Determinism.*:DpSolver*.*' \
+      || bad "TSan concurrency tests"
+  fi
+fi
+
+note "docs gate: README.md vs pase_cli --help"
+HELP="$("$CLI" --help 2>/dev/null)" || bad "pase_cli --help exited non-zero"
+HELP_FLAGS="$(printf '%s\n' "$HELP" | grep -oE -- '--[a-z][a-z0-9-]+' | sort -u)"
+# README side: only --flags inside fenced code blocks that mention pase_cli
+# (the building/bench blocks legitimately use cmake/ctest flags).
+README_FLAGS="$(awk '
+  /^```/ { if (inblock && block ~ /pase_cli/) printf "%s", block;
+           block = ""; inblock = !inblock; next }
+  inblock { block = block $0 "\n" }
+' "$ROOT/README.md" | grep -oE -- '--[a-z][a-z0-9-]+' | sort -u)"
+for flag in $HELP_FLAGS; do
+  grep -qF -- "$flag" "$ROOT/README.md" \
+    || bad "docs gate: $flag is in pase_cli --help but not README.md"
+done
+for flag in $README_FLAGS; do
+  printf '%s\n' "$HELP_FLAGS" | grep -qxF -- "$flag" \
+    || bad "docs gate: $flag is in README.md but not pase_cli --help"
+done
+[ "$fail" -eq 0 ] && note "ok docs gate ($(printf '%s\n' "$HELP_FLAGS" | wc -l) flags cross-checked)"
 
 if [ "$fail" -ne 0 ]; then
   printf '\ncheck.sh: FAILURES\n'

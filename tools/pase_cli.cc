@@ -4,7 +4,14 @@
 //   pase_cli <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]
 //            [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]
 //            [--deadline SECONDS] [--strict] [--beam-width N]
+//            [--threads N] [--no-cost-cache]
 //            [--faults SPEC] [--fault-aware] [--robustness N] [--seed S]
+//
+// Search engine options: --threads N fans the DP's per-vertex cost
+// evaluations across N worker threads (0 = hardware concurrency, the
+// default; results are bit-identical at any setting); --no-cost-cache
+// disables the memoization of layer/transfer costs across structurally
+// identical layers.
 //
 // Prints the best strategy (Table II style), its analytical cost, search
 // statistics and simulated step time; --baseline adds the data-parallel
@@ -55,21 +62,31 @@ constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitInfeasible = 3;
 
-int usage(const char* argv0) {
+void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]\n"
       "          [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]\n"
       "          [--deadline SECONDS] [--strict] [--beam-width N]\n"
+      "          [--threads N] [--no-cost-cache]\n"
       "          [--max-table-entries N] [--max-combinations N]\n"
       "          [--faults SPEC] [--fault-aware] [--robustness N] [--seed "
       "S]\n"
+      "          [--help]\n"
       "\n"
+      "search engine: --threads N worker threads for the DP fan-out\n"
+      "            (0 = hardware concurrency, the default; results are\n"
+      "            bit-identical at any thread count); --no-cost-cache\n"
+      "            disables layer/transfer cost memoization\n"
       "fault spec: comma-separated straggler=RANK:SLOWDOWN, links=INTRA:INTER,"
       "\n            jitter=SIGMA, dropout=RATE:INTERVAL:RESTART[:WRITE]\n"
       "exit codes: 0 ok (incl. degraded strategy)  1 runtime error\n"
       "            2 usage error                   3 infeasible\n",
       argv0);
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
   return kExitUsage;
 }
 
@@ -117,6 +134,8 @@ int main(int argc, char** argv) {
   double deadline_seconds = 0.0;
   bool strict = false;
   i64 beam_width = 256;
+  i64 threads = 0;  // 0 = hardware concurrency
+  bool no_cost_cache = false;
   i64 max_table_entries = 0;  // 0 = DpOptions default
   i64 max_combinations = 0;
   const char* faults_arg = nullptr;
@@ -158,6 +177,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--beam-width") == 0) {
       if (!value(&v) || !parse_i64_flag(arg, v, 1, &beam_width))
         return kExitUsage;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 0, &threads))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--no-cost-cache") == 0) {
+      no_cost_cache = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage(stdout, argv[0]);
+      return kExitOk;
     } else if (std::strcmp(arg, "--max-table-entries") == 0) {
       if (!value(&v) || !parse_i64_flag(arg, v, 1, &max_table_entries))
         return kExitUsage;
@@ -244,6 +271,8 @@ int main(int argc, char** argv) {
   options.deadline_seconds = deadline_seconds;
   options.degraded_fallback = !strict;
   options.beam_width = beam_width;
+  options.num_threads = threads;
+  options.use_cost_cache = !no_cost_cache;
   if (max_table_entries > 0)
     options.max_table_entries = static_cast<u64>(max_table_entries);
   if (max_combinations > 0)
@@ -289,6 +318,18 @@ int main(int argc, char** argv) {
               r.elapsed_seconds * 1e3,
               r.status == DpStatus::kDegraded ? "   [degraded: beam search]"
                                               : "");
+  const u64 cache_total = r.cost_cache_hits + r.cost_cache_misses;
+  std::printf("threads: %lld   cost cache: %s",
+              static_cast<long long>(r.threads_used),
+              no_cost_cache ? "off" : "");
+  if (!no_cost_cache)
+    std::printf("%llu hits / %llu misses (%.0f%% hit rate)",
+                static_cast<unsigned long long>(r.cost_cache_hits),
+                static_cast<unsigned long long>(r.cost_cache_misses),
+                cache_total ? 100.0 * static_cast<double>(r.cost_cache_hits) /
+                                  static_cast<double>(cache_total)
+                            : 0.0);
+  std::printf("\n");
   std::printf("analytical cost: %.4g FLOP-equiv   simulated step: %.2f ms   "
               "per-device memory: %.2f GB\n",
               r.best_cost, sim.simulate(r.strategy).step_time_s * 1e3,
