@@ -1,0 +1,284 @@
+#include "comm/comm_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace pase {
+
+namespace {
+
+/// ceil(log2(g)) for g >= 1: the step count of the logarithmic algorithms.
+double ceil_log2(i64 g) {
+  i64 steps = 0;
+  for (i64 span = 1; span < g; span <<= 1) ++steps;
+  return static_cast<double>(steps);
+}
+
+/// Wire bytes per device of a ring all-reduce: 2(g-1)/g * n. Arithmetic
+/// matches ring_all_reduce_bytes (src/cost) exactly; reimplemented here so
+/// the comm library stays below src/cost in the link order.
+double ring_wire_bytes(double bytes, i64 group) {
+  if (group <= 1) return 0.0;
+  return 2.0 * bytes * static_cast<double>(group - 1) /
+         static_cast<double>(group);
+}
+
+u64 shape_key(Collective c, double bytes, i64 group) {
+  u64 bits;
+  static_assert(sizeof(bits) == sizeof(bytes));
+  std::memcpy(&bits, &bytes, sizeof(bits));
+  u64 h = hash_combine(static_cast<u64>(c), bits);
+  return hash_combine(h, static_cast<u64>(group));
+}
+
+}  // namespace
+
+const char* collective_name(Collective c) {
+  switch (c) {
+    case Collective::kAllReduce: return "all-reduce";
+    case Collective::kAllGather: return "all-gather";
+    case Collective::kReduceScatter: return "reduce-scatter";
+    case Collective::kBroadcast: return "broadcast";
+    case Collective::kAllToAll: return "all-to-all";
+  }
+  return "?";
+}
+
+const char* comm_algo_name(CommAlgo a) {
+  switch (a) {
+    case CommAlgo::kRing: return "ring";
+    case CommAlgo::kTree: return "tree";
+    case CommAlgo::kHalvingDoubling: return "hd";
+    case CommAlgo::kHierarchical: return "hier";
+  }
+  return "?";
+}
+
+const char* comm_model_kind_name(CommModelKind k) {
+  switch (k) {
+    case CommModelKind::kSimple: return "simple";
+    case CommModelKind::kAuto: return "auto";
+    case CommModelKind::kRing: return "ring";
+    case CommModelKind::kTree: return "tree";
+    case CommModelKind::kHalvingDoubling: return "hd";
+    case CommModelKind::kHierarchical: return "hier";
+  }
+  return "?";
+}
+
+std::optional<CommModelKind> parse_comm_model_kind(const std::string& s) {
+  if (s == "simple") return CommModelKind::kSimple;
+  if (s == "auto") return CommModelKind::kAuto;
+  if (s == "ring") return CommModelKind::kRing;
+  if (s == "tree") return CommModelKind::kTree;
+  if (s == "hd") return CommModelKind::kHalvingDoubling;
+  if (s == "hier") return CommModelKind::kHierarchical;
+  return std::nullopt;
+}
+
+CommModel::CommModel(const MachineSpec& m, CommModelKind kind)
+    : kind_(kind),
+      devices_per_node_(m.devices_per_node),
+      intra_bw_(m.intra_bw()),
+      inter_bw_(m.inter_bw()),
+      latency_s_(m.link_latency_s) {
+  PASE_CHECK(devices_per_node_ >= 1);
+  PASE_CHECK(intra_bw_ > 0 && inter_bw_ > 0);
+}
+
+double CommModel::point_to_point_time(double bytes, i64 group) const {
+  if (bytes <= 0.0) return 0.0;
+  const double bw = group <= devices_per_node_ ? intra_bw_ : inter_bw_;
+  return bytes / bw + latency_s_;
+}
+
+double CommModel::simple_time(Collective c, double bytes, i64 group) const {
+  if (bytes <= 0.0 || group <= 1) return 0.0;
+  const i64 dpn = devices_per_node_;
+  if (c != Collective::kAllReduce) {
+    // The legacy model only knew one collective shape; everything else is
+    // priced as ring wire bytes over the implied flat link.
+    const double wire = c == Collective::kAllToAll
+                            ? bytes * static_cast<double>(group - 1) /
+                                  static_cast<double>(group)
+                            : ring_wire_bytes(bytes, group) / 2.0;
+    const double bw = group <= dpn ? intra_bw_ : inter_bw_;
+    return wire / bw + latency_s_;
+  }
+  // Bit-exact copy of the pre-comm-library Simulator::all_reduce_time.
+  if (group <= dpn) {
+    const double wire = ring_wire_bytes(bytes, group);
+    return wire / intra_bw_ + latency_s_;
+  }
+  const i64 nodes = (group + dpn - 1) / dpn;
+  const double intra_bytes = 2.0 * bytes * static_cast<double>(dpn - 1) /
+                             static_cast<double>(dpn);
+  const double inter_bytes =
+      ring_wire_bytes(bytes / static_cast<double>(dpn), nodes);
+  return intra_bytes / intra_bw_ + inter_bytes / inter_bw_ +
+         2.0 * latency_s_;
+}
+
+double CommModel::flat_time(CommAlgo a, Collective c, double bytes, i64 group,
+                            double bw) const {
+  if (bytes <= 0.0 || group <= 1) return 0.0;
+  const double g = static_cast<double>(group);
+  const double a_s = latency_s_;
+  const double L = ceil_log2(group);
+  const double ring_frac = bytes * (g - 1.0) / g;  // n(g-1)/g
+  switch (a) {
+    case CommAlgo::kRing:
+      switch (c) {
+        case Collective::kAllReduce:
+          return 2.0 * (g - 1.0) * a_s + 2.0 * ring_frac / bw;
+        case Collective::kAllGather:
+        case Collective::kReduceScatter:
+          return (g - 1.0) * a_s + ring_frac / bw;
+        case Collective::kBroadcast:  // van de Geijn scatter + all-gather
+          return (L + g - 1.0) * a_s + 2.0 * ring_frac / bw;
+        case Collective::kAllToAll:  // pairwise exchange
+          return (g - 1.0) * (a_s + bytes / g / bw);
+      }
+      break;
+    case CommAlgo::kTree:
+      switch (c) {
+        case Collective::kAllReduce:  // binomial reduce + broadcast
+          return 2.0 * L * (a_s + bytes / bw);
+        case Collective::kAllGather:
+        case Collective::kReduceScatter:
+        case Collective::kBroadcast:
+          return L * (a_s + bytes / bw);
+        case Collective::kAllToAll:  // Bruck
+          return L * a_s + L * bytes / 2.0 / bw;
+      }
+      break;
+    case CommAlgo::kHalvingDoubling:
+      switch (c) {
+        case Collective::kAllReduce:  // Rabenseifner
+          return 2.0 * L * a_s + 2.0 * ring_frac / bw;
+        case Collective::kAllGather:
+        case Collective::kReduceScatter:
+          return L * a_s + ring_frac / bw;
+        case Collective::kBroadcast:  // binomial scatter + hd all-gather
+          return 2.0 * L * a_s + 2.0 * ring_frac / bw;
+        case Collective::kAllToAll:  // no standard form: pairwise exchange
+          return (g - 1.0) * (a_s + bytes / g / bw);
+      }
+      break;
+    case CommAlgo::kHierarchical:
+      PASE_CHECK(false);  // handled by hierarchical_phases()
+  }
+  return 0.0;
+}
+
+CommPhases CommModel::hierarchical_phases(Collective c, double bytes,
+                                          i64 group) const {
+  CommPhases ph;
+  if (bytes <= 0.0 || group <= 1) return ph;
+  const i64 dpn = devices_per_node_;
+  const i64 local = std::min<i64>(group, dpn);
+  const i64 nodes = (group + dpn - 1) / dpn;
+  if (nodes <= 1) {
+    ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
+    return ph;
+  }
+  const double nl = static_cast<double>(local);
+  const double shard = bytes / nl;  // per-lane bytes after the intra split
+  switch (c) {
+    case Collective::kAllReduce:
+      // Intra reduce-scatter + all-gather on the full tensor (= a ring
+      // all-reduce's wire volume), inter ring all-reduce on each lane's
+      // 1/local shard across the nodes.
+      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
+      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, inter_bw_);
+      break;
+    case Collective::kReduceScatter:
+      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
+      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, inter_bw_);
+      break;
+    case Collective::kAllGather:
+      // Mirror image: gather each lane across nodes first, then complete
+      // the tensor inside each node.
+      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, inter_bw_);
+      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
+      break;
+    case Collective::kBroadcast:
+      // Binomial across nodes (one NIC hop per level), then binomial fan-out
+      // inside each node.
+      ph.inter_s = flat_time(CommAlgo::kTree, c, bytes, nodes, inter_bw_);
+      ph.intra_s = flat_time(CommAlgo::kTree, c, bytes, local, intra_bw_);
+      break;
+    case Collective::kAllToAll: {
+      // Phase 1: node-local pairwise exchange of the locally-destined
+      // blocks; phase 2: pairwise exchange between nodes of the aggregated
+      // local*n/g blocks each node owes every other node.
+      const double per_rank = bytes / static_cast<double>(group);
+      ph.intra_s = static_cast<double>(local - 1) *
+                   (latency_s_ + per_rank / intra_bw_);
+      ph.inter_s = static_cast<double>(nodes - 1) *
+                   (latency_s_ + per_rank * nl / inter_bw_);
+      break;
+    }
+  }
+  return ph;
+}
+
+double CommModel::algorithm_time(CommAlgo a, Collective c, double bytes,
+                                 i64 group) const {
+  if (bytes <= 0.0 || group <= 1) return 0.0;
+  if (a == CommAlgo::kHierarchical)
+    return hierarchical_phases(c, bytes, group).total();
+  const double bw = group <= devices_per_node_ ? intra_bw_ : inter_bw_;
+  return flat_time(a, c, bytes, group, bw);
+}
+
+CommAlgo CommModel::chosen_algorithm(Collective c, double bytes,
+                                     i64 group) const {
+  if (bytes <= 0.0 || group <= 1) return CommAlgo::kRing;
+  const u64 key = shape_key(c, bytes, group);
+  {
+    std::lock_guard<std::mutex> lock(choice_mutex_);
+    const auto it = choice_memo_.find(key);
+    if (it != choice_memo_.end()) return it->second;
+  }
+  CommAlgo best = CommAlgo::kRing;
+  double best_time = algorithm_time(best, c, bytes, group);
+  for (CommAlgo a : {CommAlgo::kTree, CommAlgo::kHalvingDoubling,
+                     CommAlgo::kHierarchical}) {
+    const double t = algorithm_time(a, c, bytes, group);
+    if (t < best_time) {  // strict: ties keep the earlier enum value
+      best = a;
+      best_time = t;
+    }
+  }
+  std::lock_guard<std::mutex> lock(choice_mutex_);
+  choice_memo_.emplace(key, best);
+  return best;
+}
+
+double CommModel::collective_time(Collective c, double bytes,
+                                  i64 group) const {
+  if (bytes <= 0.0 || group <= 1) return 0.0;
+  switch (kind_) {
+    case CommModelKind::kSimple:
+      return simple_time(c, bytes, group);
+    case CommModelKind::kAuto:
+      return algorithm_time(chosen_algorithm(c, bytes, group), c, bytes,
+                            group);
+    case CommModelKind::kRing:
+      return algorithm_time(CommAlgo::kRing, c, bytes, group);
+    case CommModelKind::kTree:
+      return algorithm_time(CommAlgo::kTree, c, bytes, group);
+    case CommModelKind::kHalvingDoubling:
+      return algorithm_time(CommAlgo::kHalvingDoubling, c, bytes, group);
+    case CommModelKind::kHierarchical:
+      return algorithm_time(CommAlgo::kHierarchical, c, bytes, group);
+  }
+  return 0.0;
+}
+
+}  // namespace pase

@@ -1,0 +1,162 @@
+// Collective-communication algorithm library: prices all-reduce,
+// all-gather, reduce-scatter, broadcast and all-to-all under several
+// classic algorithms — ring, binomial tree, recursive halving-doubling,
+// and a hierarchical two-level (intra-node, then inter-node) composition —
+// each as an alpha-beta (latency + per-byte) cost over the machine's
+// intra-/inter-node links.
+//
+// Why it exists: the paper's cost functions and the Fig. 6 simulator assume
+// a single collective shape (ring wire bytes over one flat link). Real
+// collectives switch algorithms with message size, group size and topology
+// — NCCL/MPI pick trees or halving-doubling for latency-bound small
+// messages and rings or hierarchical compositions for bandwidth-bound large
+// ones — and Mesh-TensorFlow / FlexFlow both attribute strategy-ranking
+// shifts to exactly this interaction. CommModelKind::kAuto models it: the
+// cheapest algorithm per (collective, bytes, group) is selected by argmin
+// over the closed forms below and memoized.
+//
+// Cost conventions (n = logical tensor bytes, g = group size,
+// L = ceil(log2 g), alpha = per-message link latency, 1/bw = per-byte
+// time of the link class a flat algorithm crosses — intra-node when the
+// group fits inside one host, inter-node otherwise):
+//
+//   collective      ring                      tree (binomial)     halving-doubling
+//   all-reduce      2(g-1)a + 2n(g-1)/g /bw   2L(a + n/bw)        2La + 2n(g-1)/g /bw
+//   all-gather /
+//   reduce-scatter  (g-1)a +  n(g-1)/g /bw     L(a + n/bw)         La +  n(g-1)/g /bw
+//   broadcast       (L+g-1)a + 2n(g-1)/g /bw   L(a + n/bw)        2La + 2n(g-1)/g /bw
+//   all-to-all      (g-1)(a + n/g /bw)         La + L n/2 /bw     = ring (pairwise)
+//
+// (ring broadcast is the van-de-Geijn scatter + all-gather; tree all-to-all
+// is Bruck's algorithm; halving-doubling all-to-all has no standard form
+// and falls back to pairwise exchange.) The hierarchical algorithm splits a
+// multi-node group into an intra-node phase over min(g, devices_per_node)
+// ranks on the intra link and an inter-node phase over the node count on
+// the inter link (see hierarchical_phases(); for single-node groups it
+// degenerates to the intra-node ring).
+//
+// CommModelKind::kSimple reproduces the legacy pricing bit-exactly — the
+// flat-link + hierarchical-ring closed forms the pre-comm-library simulator
+// hard-coded — so reproduction benches keep their output unchanged; it is
+// the default everywhere.
+//
+// Thread-safety: const member functions are safe to call concurrently; the
+// kAuto choice memo is guarded by an internal mutex, and because every
+// closed form is a pure function of (collective, bytes, group), memoized
+// results are bit-identical regardless of which thread populated an entry
+// first — the parallel DP's determinism contract is preserved.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include <mutex>
+
+#include "cost/machine.h"
+#include "util/types.h"
+
+namespace pase {
+
+/// The collective operations strategies induce: partial-sum and gradient
+/// syncs are all-reduces; parameter resharding uses all-gather /
+/// reduce-scatter; broadcast and all-to-all round out the library for
+/// pipeline and expert-parallel layouts.
+enum class Collective {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+  kAllToAll,
+};
+
+/// The algorithm families (see the file comment for their closed forms).
+enum class CommAlgo { kRing, kTree, kHalvingDoubling, kHierarchical };
+
+/// Pricing mode: kSimple = legacy bit-exact pricing (default), kAuto =
+/// cheapest algorithm per (collective, bytes, group), the rest force one
+/// algorithm family for every collective.
+enum class CommModelKind {
+  kSimple,
+  kAuto,
+  kRing,
+  kTree,
+  kHalvingDoubling,
+  kHierarchical,
+};
+
+const char* collective_name(Collective c);
+const char* comm_algo_name(CommAlgo a);
+const char* comm_model_kind_name(CommModelKind k);
+
+/// Parses the CLI spelling {simple|auto|ring|tree|hd|hier}; nullopt on
+/// anything else.
+std::optional<CommModelKind> parse_comm_model_kind(const std::string& s);
+
+/// The two phases of the hierarchical composition, in seconds. For
+/// single-node groups inter_s is 0.
+struct CommPhases {
+  double intra_s = 0.0;
+  double inter_s = 0.0;
+  double total() const { return intra_s + inter_s; }
+};
+
+/// Prices collectives on one machine. Immutable after construction apart
+/// from the internal kAuto memo (see the file comment for thread-safety).
+/// Built from a MachineSpec, so fault-layer perturbations (scale_links,
+/// stragglers) compose automatically: a degraded spec yields a degraded
+/// comm model.
+class CommModel {
+ public:
+  explicit CommModel(const MachineSpec& m,
+                     CommModelKind kind = CommModelKind::kSimple);
+
+  CommModelKind kind() const { return kind_; }
+
+  /// Seconds for collective `c` over a `bytes`-byte logical tensor across
+  /// `group` devices, under this model's kind. 0 for empty tensors or
+  /// single-device groups.
+  double collective_time(Collective c, double bytes, i64 group) const;
+
+  /// Seconds for a point-to-point transfer of per-device `bytes` over the
+  /// link class implied by `group` (intra-node iff the group fits in one
+  /// host) — identical in every kind, matching the legacy simulator.
+  double point_to_point_time(double bytes, i64 group) const;
+
+  /// Seconds under one specific algorithm family, independent of kind()
+  /// (kSimple excepted: it is a pricing mode, not an algorithm). Exposed
+  /// for the auto-selector, tests and benches.
+  double algorithm_time(CommAlgo a, Collective c, double bytes,
+                        i64 group) const;
+
+  /// The algorithm kAuto picks (and memoizes) for this shape: the argmin of
+  /// algorithm_time over all families, ties broken by enum order. Returns
+  /// kRing for degenerate shapes (bytes <= 0 or group <= 1).
+  CommAlgo chosen_algorithm(Collective c, double bytes, i64 group) const;
+
+  /// Intra-/inter-node breakdown of the hierarchical composition;
+  /// total() == algorithm_time(kHierarchical, ...) exactly.
+  CommPhases hierarchical_phases(Collective c, double bytes, i64 group) const;
+
+  i64 devices_per_node() const { return devices_per_node_; }
+
+ private:
+  /// A flat (single-level) algorithm over `group` ranks on the link class
+  /// the group implies.
+  double flat_time(CommAlgo a, Collective c, double bytes, i64 group,
+                   double bw) const;
+  /// Legacy pricing (kSimple): the pre-comm-library simulator's flat ring /
+  /// fixed hierarchical-ring closed form, reproduced bit-exactly.
+  double simple_time(Collective c, double bytes, i64 group) const;
+
+  CommModelKind kind_;
+  i64 devices_per_node_;
+  double intra_bw_;
+  double inter_bw_;
+  double latency_s_;
+
+  mutable std::mutex choice_mutex_;
+  mutable std::unordered_map<u64, CommAlgo> choice_memo_;
+};
+
+}  // namespace pase

@@ -93,6 +93,26 @@ double layer_flops(const Node& node, const Config& config,
 
 double layer_cost(const Node& node, const Config& config,
                   const CostParams& params) {
+  if (params.comm) {
+    // Comm-model pricing: all-reduces priced by the attached algorithm
+    // library on the logical tensor shard (volume_bytes), halo exchanges as
+    // point-to-point transfers; seconds are rescaled to FLOP-equivalents so
+    // the total stays on Eq. (1)'s scale.
+    double comm_flops = 0.0;
+    for (const CollectiveComm& c : layer_collectives(node, config, params)) {
+      const double weight =
+          c.kind == CollectiveComm::Kind::kGradientAllReduce
+              ? params.gradient_comm_discount
+              : 1.0;
+      const double seconds =
+          c.kind == CollectiveComm::Kind::kHaloExchange
+              ? params.comm->point_to_point_time(c.bytes, c.group)
+              : params.comm->collective_time(Collective::kAllReduce,
+                                             c.volume_bytes, c.group);
+      comm_flops += weight * seconds * params.seconds_to_flops;
+    }
+    return layer_flops(node, config, params) + comm_flops;
+  }
   double comm_bytes = 0.0;
   for (const CollectiveComm& c : layer_collectives(node, config, params)) {
     const double weight =

@@ -13,8 +13,17 @@
 //    max_d |A(v,d,phi)| - |A(v,d,phi) n A(u,d,phi)| evaluated in closed form
 //    for uniform block partitions under the greedy aligned placement,
 //    counted in both directions (t_x is edge-direction agnostic).
+//
+// Collective pricing is pluggable: by default t_l uses the paper's ring
+// wire-byte form (`simple`), but CostParams::comm can attach the src/comm
+// algorithm library so internal collectives are priced by topology-aware
+// alpha-beta closed forms instead (CommModelKind::kAuto picks the cheapest
+// algorithm per message shape).
 #pragma once
 
+#include <memory>
+
+#include "comm/comm_model.h"
 #include "config/config.h"
 #include "cost/machine.h"
 #include "graph/graph.h"
@@ -35,6 +44,19 @@ struct CostParams {
   /// the analytical model only needs the relative weighting).
   double gradient_comm_discount = 0.3;
 
+  /// Optional collective-pricing backend (src/comm). Null — the default,
+  /// and what for_machine(m) produces — keeps the paper's `simple` pricing:
+  /// ring wire bytes x r, bit-identical to the pre-comm-library model.
+  /// When set, each internal collective of t_l is priced by the CommModel's
+  /// alpha-beta closed forms in seconds and converted to FLOP-equivalents
+  /// via seconds_to_flops; t_x keeps its closed-form redistribution bytes
+  /// in every mode (it is a point-to-point reshard, not a collective).
+  std::shared_ptr<const CommModel> comm;
+  /// FLOP-equivalents per second of collective time under `comm`: the
+  /// weakest device's achieved FLOPs, the same scale r bakes in (r * bytes
+  /// == seconds_to_flops * bytes / B).
+  double seconds_to_flops = 0.0;
+
   static CostParams for_machine(const MachineSpec& m) {
     CostParams p;
     // Achieved (not peak) FLOPs per byte keeps compute and communication on
@@ -42,6 +64,17 @@ struct CostParams {
     // rule applies: price compute at the weakest device.
     p.r = m.weakest_flops() / m.link_bandwidth * m.compute_efficiency;
     p.gradient_comm_discount = m.gradient_comm_discount;
+    p.seconds_to_flops = m.weakest_flops() * m.compute_efficiency;
+    return p;
+  }
+
+  /// for_machine plus a collective-pricing mode: kSimple attaches nothing
+  /// (bit-identical to for_machine(m)); any other kind attaches a CommModel
+  /// of that kind built over `m`'s links and topology.
+  static CostParams for_machine(const MachineSpec& m, CommModelKind kind) {
+    CostParams p = for_machine(m);
+    if (kind != CommModelKind::kSimple)
+      p.comm = std::make_shared<const CommModel>(m, kind);
     return p;
   }
 };

@@ -10,16 +10,17 @@ RobustnessReport evaluate_robustness(const Graph& graph,
                                      const MachineSpec& healthy,
                                      const Strategy& phi,
                                      const FaultModel& model,
-                                     i64 num_scenarios) {
+                                     i64 num_scenarios,
+                                     CommModelKind comm_kind) {
   PASE_CHECK(num_scenarios >= 1);
   RobustnessReport report;
   report.num_scenarios = num_scenarios;
 
-  const Simulator healthy_sim(graph, healthy);
+  const Simulator healthy_sim(graph, healthy, comm_kind);
   report.healthy = healthy_sim.simulate(phi);
 
   const MachineSpec degraded_machine = model.perturb(healthy);
-  const Simulator degraded_sim(graph, degraded_machine);
+  const Simulator degraded_sim(graph, degraded_machine, comm_kind);
   report.degraded = degraded_sim.simulate(phi);
   report.checkpoint_overhead_s =
       model.checkpoint_overhead_s(report.degraded.step_time_s);

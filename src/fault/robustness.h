@@ -33,11 +33,17 @@ struct RobustnessReport {
 /// Simulates `phi` on the healthy machine, on the deterministically
 /// degraded machine, and over `num_scenarios` jittered scenarios drawn from
 /// `model`'s seed. Deterministic: identical inputs give a bit-identical
-/// report.
+/// report. `comm_kind` selects the collective-pricing mode for every
+/// simulation (src/comm); because the comm model is rebuilt from each
+/// perturbed MachineSpec, link degradation composes with the algorithm
+/// library — a degraded NIC slows the inter-node phase of a hierarchical
+/// all-reduce, and kAuto may even switch algorithms under faults.
 RobustnessReport evaluate_robustness(const Graph& graph,
                                      const MachineSpec& healthy,
                                      const Strategy& phi,
                                      const FaultModel& model,
-                                     i64 num_scenarios = 16);
+                                     i64 num_scenarios = 16,
+                                     CommModelKind comm_kind =
+                                         CommModelKind::kSimple);
 
 }  // namespace pase

@@ -6,35 +6,19 @@
 
 namespace pase {
 
-Simulator::Simulator(const Graph& graph, MachineSpec machine)
+Simulator::Simulator(const Graph& graph, MachineSpec machine,
+                     CommModelKind comm_kind)
     : graph_(&graph), machine_(std::move(machine)),
       params_(CostParams::for_machine(machine_)),
+      comm_(machine_, comm_kind),
       topo_order_(graph.topological_order()) {}
 
 double Simulator::transfer_time(double bytes, i64 group) const {
-  if (bytes <= 0.0) return 0.0;
-  const double bw = group <= machine_.devices_per_node ? machine_.intra_bw()
-                                                       : machine_.inter_bw();
-  return bytes / bw + machine_.link_latency_s;
+  return comm_.point_to_point_time(bytes, group);
 }
 
 double Simulator::all_reduce_time(double volume, i64 group) const {
-  if (volume <= 0.0 || group <= 1) return 0.0;
-  const i64 dpn = machine_.devices_per_node;
-  if (group <= dpn) {
-    const double bytes = ring_all_reduce_bytes(volume, group);
-    return bytes / machine_.intra_bw() + machine_.link_latency_s;
-  }
-  // Hierarchical: intra-node reduce-scatter + all-gather on the full
-  // volume, inter-node ring all-reduce on the 1/dpn shard each device owns
-  // (one NIC stream per device share).
-  const i64 nodes = (group + dpn - 1) / dpn;
-  const double intra_bytes =
-      2.0 * volume * static_cast<double>(dpn - 1) / static_cast<double>(dpn);
-  const double inter_bytes = ring_all_reduce_bytes(
-      volume / static_cast<double>(dpn), nodes);
-  return intra_bytes / machine_.intra_bw() +
-         inter_bytes / machine_.inter_bw() + 2.0 * machine_.link_latency_s;
+  return comm_.collective_time(Collective::kAllReduce, volume, group);
 }
 
 std::string to_chrome_trace_json(const SimTrace& trace) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/comm_model.h"
 #include "config/config.h"
 #include "cost/cost_model.h"
 #include "cost/machine.h"
@@ -34,8 +35,11 @@ struct SimResult {
   double step_time_s = 0.0;     ///< one forward+backward+update step
   double compute_time_s = 0.0;  ///< device-0 busy time spent computing
   double comm_time_s = 0.0;     ///< device-0 busy time spent communicating
-  /// Throughput in steps/s.
-  double steps_per_second() const { return 1.0 / step_time_s; }
+  /// Throughput in steps/s; 0 for an empty (zero-time) step rather than a
+  /// division by zero.
+  double steps_per_second() const {
+    return step_time_s > 0.0 ? 1.0 / step_time_s : 0.0;
+  }
 };
 
 /// One simulated layer execution, for timeline inspection.
@@ -68,7 +72,13 @@ std::string to_chrome_trace_json(const SimTrace& trace);
 
 class Simulator {
  public:
-  Simulator(const Graph& graph, MachineSpec machine);
+  /// `comm_kind` selects the collective-pricing mode (src/comm):
+  /// kSimple — the default — reproduces the legacy flat-link/hierarchical
+  /// formulas bit-exactly; kAuto and the named algorithms price every
+  /// CollectiveComm through the same alpha-beta library the analytical
+  /// cost model can attach, keeping the two consistent.
+  Simulator(const Graph& graph, MachineSpec machine,
+            CommModelKind comm_kind = CommModelKind::kSimple);
 
   /// Simulates one training step under `phi`; optionally records the
   /// per-layer timeline and/or applies a fault perturbation to every
@@ -84,18 +94,21 @@ class Simulator {
 
   const MachineSpec& machine() const { return machine_; }
 
+  const CommModel& comm_model() const { return comm_; }
+
  private:
   /// Point-to-point / halo / transfer time for per-device `bytes` over the
   /// link class implied by the group size.
   double transfer_time(double bytes, i64 group) const;
-  /// NCCL-style hierarchical all-reduce of a `volume`-byte shard across
-  /// `group` devices: intra-node ring, then an inter-node ring over the
-  /// volume sharded across the node's devices.
+  /// All-reduce of a `volume`-byte shard across `group` devices, priced by
+  /// the comm library under this simulator's CommModelKind (the kSimple
+  /// default is the legacy NCCL-style intra-ring + inter-ring form).
   double all_reduce_time(double volume, i64 group) const;
 
   const Graph* graph_;
   MachineSpec machine_;
   CostParams params_;
+  CommModel comm_;
   std::vector<NodeId> topo_order_;
 };
 

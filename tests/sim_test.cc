@@ -64,6 +64,16 @@ TEST(Simulator, LowBalanceMachineIsSlowerForSameStrategy) {
             Simulator(g, MachineSpec::gtx1080ti(8)).simulate(dp).step_time_s);
 }
 
+TEST(Simulator, StepsPerSecondGuardsZeroStepTime) {
+  // Regression: a default (empty) SimResult used to return inf from a
+  // division by zero; the guarded accessor reports 0 steps/s instead.
+  const SimResult empty;
+  EXPECT_EQ(empty.steps_per_second(), 0.0);
+  SimResult r;
+  r.step_time_s = 0.5;
+  EXPECT_DOUBLE_EQ(r.steps_per_second(), 2.0);
+}
+
 TEST(Simulator, DeterministicAcrossCalls) {
   const Graph g = models::transformer();
   const Simulator sim(g, MachineSpec::gtx1080ti(8));

@@ -5,8 +5,11 @@
 # README.md) instead of crashing or tripping a sanitizer. A second build
 # under TSan (-DPASE_SANITIZE=thread) runs the concurrency-relevant tests
 # (ThreadPool, CostCache, Determinism, DpSolver) to catch data races in the
-# parallel search engine. Finally a docs gate cross-checks README.md
-# against `pase_cli --help` so flag documentation cannot drift.
+# parallel search engine, and a third build under UBSan alone
+# (-DPASE_SANITIZE=undefined) re-runs the full unit suite — UBSan combined
+# with ASan suppresses some checks, so the standalone stage is stricter.
+# Finally a docs gate cross-checks README.md against `pase_cli --help` so
+# flag documentation cannot drift.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-asan; the TSan build
 # goes in <build-dir>-tsan)
@@ -64,6 +67,10 @@ expect 2 "bad numeric flag" -- \
   "$ROOT/tests/corpus/valid_tiny.pase" --devices banana
 expect 2 "bad fault spec" -- \
   "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --faults wobble=1
+expect 2 "bad comm model" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --comm-model warp
+expect 0 "auto comm model" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --comm-model auto
 
 note "degraded-mode acceptance (guard trip must still exit 0)"
 expect 0 "dense model degrades gracefully" -- \
@@ -86,6 +93,23 @@ if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
     TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/pase_tests" \
         --gtest_filter='ThreadPool.*:CostCache.*:Determinism.*:DpSolver*.*' \
       || bad "TSan concurrency tests"
+  fi
+fi
+
+UBSAN_BUILD="$BUILD-ubsan"
+note "configuring UBSan build in $UBSAN_BUILD"
+cmake -B "$UBSAN_BUILD" -S "$ROOT" -DPASE_SANITIZE=undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > "$UBSAN_BUILD.configure.log" 2>&1 \
+  || bad "UBSan cmake configure (see $UBSAN_BUILD.configure.log)"
+if [ -f "$UBSAN_BUILD/CMakeCache.txt" ]; then
+  note "building UBSan tests (-j$JOBS)"
+  cmake --build "$UBSAN_BUILD" -j "$JOBS" --target pase_tests \
+        > "$UBSAN_BUILD.build.log" 2>&1 \
+    || bad "UBSan build (see $UBSAN_BUILD.build.log)"
+  if [ -x "$UBSAN_BUILD/tests/pase_tests" ]; then
+    note "running full test suite under UBSan"
+    "$UBSAN_BUILD/tests/pase_tests" > "$UBSAN_BUILD.test.log" 2>&1 \
+      || bad "UBSan test suite (see $UBSAN_BUILD.test.log)"
   fi
 fi
 

@@ -4,7 +4,7 @@
 //   pase_cli <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]
 //            [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]
 //            [--deadline SECONDS] [--strict] [--beam-width N]
-//            [--threads N] [--no-cost-cache]
+//            [--threads N] [--no-cost-cache] [--comm-model MODE]
 //            [--faults SPEC] [--fault-aware] [--robustness N] [--seed S]
 //
 // Search engine options: --threads N fans the DP's per-vertex cost
@@ -12,6 +12,13 @@
 // default; results are bit-identical at any setting); --no-cost-cache
 // disables the memoization of layer/transfer costs across structurally
 // identical layers.
+//
+// Collective pricing: --comm-model {simple|auto|ring|tree|hd|hier} selects
+// how internal collectives are priced by both the analytical cost model
+// and the simulator (src/comm). `simple` (the default) keeps the paper's
+// ring-bytes pricing bit-exactly; `auto` picks the cheapest of
+// ring/tree/halving-doubling/hierarchical per message shape; the named
+// modes force one algorithm family.
 //
 // Prints the best strategy (Table II style), its analytical cost, search
 // statistics and simulated step time; --baseline adds the data-parallel
@@ -69,6 +76,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]\n"
       "          [--deadline SECONDS] [--strict] [--beam-width N]\n"
       "          [--threads N] [--no-cost-cache]\n"
+      "          [--comm-model simple|auto|ring|tree|hd|hier]\n"
       "          [--max-table-entries N] [--max-combinations N]\n"
       "          [--faults SPEC] [--fault-aware] [--robustness N] [--seed "
       "S]\n"
@@ -78,6 +86,10 @@ void print_usage(std::FILE* out, const char* argv0) {
       "            (0 = hardware concurrency, the default; results are\n"
       "            bit-identical at any thread count); --no-cost-cache\n"
       "            disables layer/transfer cost memoization\n"
+      "comm model: collective pricing for costs and simulation — simple\n"
+      "            (paper's ring-bytes form, the default), auto (cheapest\n"
+      "            algorithm per message), or a forced algorithm family\n"
+      "            (ring, tree, hd = halving-doubling, hier = two-level)\n"
       "fault spec: comma-separated straggler=RANK:SLOWDOWN, links=INTRA:INTER,"
       "\n            jitter=SIGMA, dropout=RATE:INTERVAL:RESTART[:WRITE]\n"
       "exit codes: 0 ok (incl. degraded strategy)  1 runtime error\n"
@@ -136,6 +148,7 @@ int main(int argc, char** argv) {
   i64 beam_width = 256;
   i64 threads = 0;  // 0 = hardware concurrency
   bool no_cost_cache = false;
+  CommModelKind comm_kind = CommModelKind::kSimple;
   i64 max_table_entries = 0;  // 0 = DpOptions default
   i64 max_combinations = 0;
   const char* faults_arg = nullptr;
@@ -182,6 +195,17 @@ int main(int argc, char** argv) {
         return kExitUsage;
     } else if (std::strcmp(arg, "--no-cost-cache") == 0) {
       no_cost_cache = true;
+    } else if (std::strcmp(arg, "--comm-model") == 0) {
+      if (!value(&v)) return kExitUsage;
+      const auto kind = parse_comm_model_kind(v);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "error: invalid value '%s' for --comm-model (expected "
+                     "simple, auto, ring, tree, hd or hier)\n",
+                     v);
+        return kExitUsage;
+      }
+      comm_kind = *kind;
     } else if (std::strcmp(arg, "--help") == 0) {
       print_usage(stdout, argv[0]);
       return kExitOk;
@@ -267,7 +291,7 @@ int main(int argc, char** argv) {
   // is the best one for the cluster as it actually is.
   const MachineSpec search_machine =
       fault_aware ? fault_model.perturb(machine) : machine;
-  options.cost_params = CostParams::for_machine(search_machine);
+  options.cost_params = CostParams::for_machine(search_machine, comm_kind);
   options.deadline_seconds = deadline_seconds;
   options.degraded_fallback = !strict;
   options.beam_width = beam_width;
@@ -310,7 +334,7 @@ int main(int argc, char** argv) {
       (fault_aware ? " [fault-aware]" : "");
   std::fputs(strategy_table(title, model.graph, r.strategy).c_str(), stdout);
 
-  const Simulator sim(model.graph, machine);
+  const Simulator sim(model.graph, machine, comm_kind);
   std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms%s\n",
               static_cast<long long>(model.graph.num_nodes()),
               static_cast<long long>(r.max_configs),
@@ -330,6 +354,13 @@ int main(int argc, char** argv) {
                                   static_cast<double>(cache_total)
                             : 0.0);
   std::printf("\n");
+  std::printf("comm model: %s", comm_model_kind_name(comm_kind));
+  if (comm_kind == CommModelKind::kAuto)
+    std::printf(" (all-reduce 1 MiB x %lld devices -> %s)",
+                static_cast<long long>(devices),
+                comm_algo_name(sim.comm_model().chosen_algorithm(
+                    Collective::kAllReduce, 1 << 20, devices)));
+  std::printf("\n");
   std::printf("analytical cost: %.4g FLOP-equiv   simulated step: %.2f ms   "
               "per-device memory: %.2f GB\n",
               r.best_cost, sim.simulate(r.strategy).step_time_s * 1e3,
@@ -347,7 +378,7 @@ int main(int argc, char** argv) {
   if (faults_arg) {
     const RobustnessReport rep =
         evaluate_robustness(model.graph, machine, r.strategy, fault_model,
-                            robustness_scenarios);
+                            robustness_scenarios, comm_kind);
     std::printf("\nfault injection: %s (seed %lld, %lld scenarios)\n",
                 fault_spec.to_string().c_str(),
                 static_cast<long long>(fault_seed),
