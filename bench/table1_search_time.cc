@@ -17,6 +17,7 @@
 #include <cstring>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -55,6 +56,11 @@ int main(int argc, char** argv) {
   std::vector<double> total_nt(benchmarks.size(), 0.0);
   bool deterministic = true;
 
+  // One registry per benchmark, attached to the threaded "Ours" runs and
+  // accumulated across p — the phase-breakdown summary below reads the same
+  // dp.phase.* gauges and dp.* counters pase_cli --metrics-out dumps.
+  std::vector<MetricsRegistry> metrics(benchmarks.size());
+
   for (const i64 p : bench::device_counts()) {
     const MachineSpec m = MachineSpec::gtx1080ti(p);
     std::vector<std::string> row = {std::to_string(p)};
@@ -78,9 +84,9 @@ int main(int argc, char** argv) {
                         ? format_mins_secs(seq.elapsed_seconds)
                         : "OOM");
 
-      const DpResult par = find_best_strategy(
-          b.graph,
-          bench::dp_options(m, OrderingKind::kGenerateSeq, threads));
+      auto par_opt = bench::dp_options(m, OrderingKind::kGenerateSeq, threads);
+      par_opt.metrics = &metrics[bi];
+      const DpResult par = find_best_strategy(b.graph, par_opt);
       row.push_back(par.status == DpStatus::kOk
                         ? format_mins_secs(par.elapsed_seconds)
                         : "OOM");
@@ -114,6 +120,31 @@ int main(int argc, char** argv) {
               "thread counts)\n",
               deterministic ? "PASS" : "FAIL",
               deterministic ? "bit-identical" : "DIFFER");
+
+  std::printf("\nPhase breakdown (Ours-%lldt, summed over p):\n",
+              static_cast<long long>(threads));
+  static constexpr const char* kPhases[] = {
+      "ordering", "configs", "dep_sets", "table_fill", "back_substitution"};
+  for (size_t bi = 0; bi < benchmarks.size(); ++bi) {
+    const MetricsRegistry& reg = metrics[bi];
+    std::printf("  %-14s", benchmarks[bi].name.c_str());
+    const double elapsed = reg.gauge("dp.elapsed_seconds");
+    for (const char* phase : kPhases) {
+      const double s =
+          reg.gauge(std::string("dp.phase.") + phase + "_seconds");
+      std::printf(" %s=%.0f%%", phase,
+                  elapsed > 0 ? 100.0 * s / elapsed : 0.0);
+    }
+    const u64 hits = reg.counter("dp.cost_cache.hits");
+    const u64 misses = reg.counter("dp.cost_cache.misses");
+    std::printf("  (substrategies %llu, cache hit rate %.0f%%)\n",
+                static_cast<unsigned long long>(
+                    reg.counter("dp.substrategies")),
+                hits + misses
+                    ? 100.0 * static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)
+                    : 0.0);
+  }
 
   std::printf(
       "\nNotes: the FlexFlow-like column runs the paper's MCMC (expert\n"

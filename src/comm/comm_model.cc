@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -263,22 +264,45 @@ CommAlgo CommModel::chosen_algorithm(Collective c, double bytes,
 double CommModel::collective_time(Collective c, double bytes,
                                   i64 group) const {
   if (bytes <= 0.0 || group <= 1) return 0.0;
+  auto count_use = [this](size_t slot) {
+    use_counts_[slot].fetch_add(1, std::memory_order_relaxed);
+  };
   switch (kind_) {
     case CommModelKind::kSimple:
+      count_use(kSimpleUseSlot);
       return simple_time(c, bytes, group);
-    case CommModelKind::kAuto:
-      return algorithm_time(chosen_algorithm(c, bytes, group), c, bytes,
-                            group);
+    case CommModelKind::kAuto: {
+      const CommAlgo a = chosen_algorithm(c, bytes, group);
+      count_use(static_cast<size_t>(a));
+      return algorithm_time(a, c, bytes, group);
+    }
     case CommModelKind::kRing:
+      count_use(static_cast<size_t>(CommAlgo::kRing));
       return algorithm_time(CommAlgo::kRing, c, bytes, group);
     case CommModelKind::kTree:
+      count_use(static_cast<size_t>(CommAlgo::kTree));
       return algorithm_time(CommAlgo::kTree, c, bytes, group);
     case CommModelKind::kHalvingDoubling:
+      count_use(static_cast<size_t>(CommAlgo::kHalvingDoubling));
       return algorithm_time(CommAlgo::kHalvingDoubling, c, bytes, group);
     case CommModelKind::kHierarchical:
+      count_use(static_cast<size_t>(CommAlgo::kHierarchical));
       return algorithm_time(CommAlgo::kHierarchical, c, bytes, group);
   }
   return 0.0;
+}
+
+void CommModel::export_metrics(MetricsRegistry* metrics,
+                               const std::string& prefix) const {
+  if (!metrics) return;
+  for (CommAlgo a : {CommAlgo::kRing, CommAlgo::kTree,
+                     CommAlgo::kHalvingDoubling, CommAlgo::kHierarchical}) {
+    const u64 n = use_count(a);
+    if (n > 0)
+      metrics->add_counter(prefix + ".algo." + comm_algo_name(a), n);
+  }
+  if (simple_use_count() > 0)
+    metrics->add_counter(prefix + ".algo.simple", simple_use_count());
 }
 
 }  // namespace pase

@@ -47,6 +47,8 @@
 // first — the parallel DP's determinism contract is preserved.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -57,6 +59,8 @@
 #include "util/types.h"
 
 namespace pase {
+
+class MetricsRegistry;
 
 /// The collective operations strategies induce: partial-sum and gradient
 /// syncs are all-reduces; parameter resharding uses all-gather /
@@ -140,6 +144,26 @@ class CommModel {
 
   i64 devices_per_node() const { return devices_per_node_; }
 
+  /// How many non-degenerate collective_time() calls were priced through
+  /// algorithm family `a` (for kAuto, the chosen family; for a forced kind,
+  /// that family). Structural: call sites and auto choices are pure
+  /// functions of the priced shapes, so counts are bit-identical across
+  /// thread counts whenever the set of shapes priced is (the DP prices all
+  /// shapes on its calling thread — see dp_solver.h).
+  u64 use_count(CommAlgo a) const {
+    return use_counts_[static_cast<size_t>(a)].load(
+        std::memory_order_relaxed);
+  }
+  /// Same, for calls priced through the legacy kSimple closed forms.
+  u64 simple_use_count() const {
+    return use_counts_[kSimpleUseSlot].load(std::memory_order_relaxed);
+  }
+  /// Dumps the per-family use counts as `<prefix>.algo.<family>` counters
+  /// (plus `<prefix>.algo.simple`), omitting zero counts so untouched
+  /// families don't pad the snapshot.
+  void export_metrics(MetricsRegistry* metrics,
+                      const std::string& prefix) const;
+
  private:
   /// A flat (single-level) algorithm over `group` ranks on the link class
   /// the group implies.
@@ -157,6 +181,10 @@ class CommModel {
 
   mutable std::mutex choice_mutex_;
   mutable std::unordered_map<u64, CommAlgo> choice_memo_;
+
+  /// Slots 0..3 mirror CommAlgo; the extra slot counts kSimple pricings.
+  static constexpr size_t kSimpleUseSlot = 4;
+  mutable std::array<std::atomic<u64>, 5> use_counts_{};
 };
 
 }  // namespace pase

@@ -6,6 +6,8 @@
 
 #include "core/dep_sets.h"
 #include "cost/cost_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -168,9 +170,20 @@ void extract(const std::vector<PositionState>& states,
 DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   WallTimer timer;
   DpResult result;
+  TraceSession* const trace = options.trace;
+  MetricsRegistry* const metrics = options.metrics;
 
-  const Ordering order = make_ordering(graph, options.ordering);
-  const ConfigCache configs(graph, options.config_options);
+  Ordering order;
+  {
+    PhaseScope phase(trace, metrics, "ordering", "dp.phase.ordering_seconds");
+    order = make_ordering(graph, options.ordering);
+  }
+  std::optional<ConfigCache> configs_storage;
+  {
+    PhaseScope phase(trace, metrics, "configs", "dp.phase.configs_seconds");
+    configs_storage.emplace(graph, options.config_options);
+  }
+  const ConfigCache& configs = *configs_storage;
 
   std::optional<CostCache> cost_cache;
   if (options.use_cost_cache) cost_cache.emplace(graph);
@@ -181,21 +194,47 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     result.cost_cache_hits = cost_cache->hits();
     result.cost_cache_misses = cost_cache->misses();
   };
+  // Final metrics flush, shared by every exit path. Counters/histograms
+  // recorded here are structural — pure functions of (graph, options minus
+  // num_threads) — while anything wall-clock or scheduling dependent goes
+  // into gauges (see src/obs/metrics.h).
+  auto record_metrics = [&] {
+    if (!metrics) return;
+    metrics->add_counter("dp.solves", 1);
+    metrics->add_counter("dp.cost_cache.hits", result.cost_cache_hits);
+    metrics->add_counter("dp.cost_cache.misses", result.cost_cache_misses);
+    const char* status = "ok";
+    switch (result.status) {
+      case DpStatus::kOk: status = "ok"; break;
+      case DpStatus::kOutOfMemory: status = "oom"; break;
+      case DpStatus::kInfeasible: status = "infeasible"; break;
+      case DpStatus::kDegraded: status = "degraded"; break;
+    }
+    metrics->add_counter(std::string("dp.status.") + status, 1);
+    metrics->add_gauge("dp.elapsed_seconds", result.elapsed_seconds);
+    metrics->set_gauge("dp.threads", static_cast<double>(result.threads_used));
+  };
 
   // The pool is created per solve (worker startup is microseconds against
   // search times of milliseconds and up); num_threads == 1 bypasses it.
   const i64 threads = ThreadPool::resolve(options.num_threads);
   std::optional<ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
+  if (threads > 1) {
+    pool.emplace(threads);
+    pool->set_trace(trace);
+  }
   result.threads_used = threads;
 
   const i64 n = graph.num_nodes();
+  if (metrics) metrics->add_counter("dp.vertices", static_cast<u64>(n));
 
   result.max_configs = configs.max_configs();
   for (NodeId v = 0; v < n; ++v) {
     if (configs.at(v).empty()) {
       result.status = DpStatus::kInfeasible;
+      record_cache_stats();
       result.elapsed_seconds = timer.elapsed_seconds();
+      record_metrics();
       return result;
     }
   }
@@ -208,6 +247,8 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   auto degrade_or_fail = [&](std::string reason) -> DpResult {
     result.guard_reason = std::move(reason);
     if (options.degraded_fallback) {
+      PhaseScope phase(trace, metrics, "beam_fallback",
+                       "dp.phase.beam_fallback_seconds");
       beam_search_fallback(graph, order, configs, cost, options.beam_width,
                            result);
       result.status = DpStatus::kDegraded;
@@ -216,6 +257,7 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     }
     record_cache_stats();
     result.elapsed_seconds = timer.elapsed_seconds();
+    record_metrics();
     return result;
   };
   auto deadline_expired = [&] {
@@ -235,13 +277,26 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     const auto& vi_configs = configs.at(vi);
     PositionState& st = states[static_cast<size_t>(i)];
 
-    const VertexSets sets = compute_vertex_sets(graph, order, i);
-    st.dependent = sets.dependent;
-    st.anchors = sets.subset_anchors;
+    {
+      PhaseScope phase(trace, metrics, "dep_sets",
+                       "dp.phase.dep_sets_seconds");
+      phase.arg("vertex", i);
+      const VertexSets sets = compute_vertex_sets(graph, order, i);
+      st.dependent = sets.dependent;
+      st.anchors = sets.subset_anchors;
+      phase.arg("dep_set", static_cast<i64>(st.dependent.size()));
+    }
     result.dependent_set_sizes.push_back(
         static_cast<i64>(st.dependent.size()));
     result.max_dependent_set = std::max(
         result.max_dependent_set, static_cast<i64>(st.dependent.size()));
+    if (metrics)
+      metrics->record("dp.dep_set_size",
+                      static_cast<i64>(st.dependent.size()));
+
+    PhaseScope fill_phase(trace, metrics, "table_fill",
+                          "dp.phase.table_fill_seconds");
+    fill_phase.arg("vertex", i);
 
     // Guard against combinatorial blow-up (paper Table I "OOM" outcome).
     double combos = 1.0;
@@ -271,6 +326,14 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
       prod *= st.radix[k];
     }
     PASE_CHECK(static_cast<double>(prod) == combos);
+    fill_phase.arg("substrategies", static_cast<i64>(prod));
+    fill_phase.arg("configs", static_cast<i64>(vi_configs.size()));
+    fill_phase.arg("work", static_cast<i64>(work));
+    if (metrics) {
+      metrics->add_counter("dp.substrategies", prod);
+      metrics->add_counter("dp.combinations", static_cast<u64>(work));
+      metrics->record("dp.substrategies_per_vertex", static_cast<i64>(prod));
+    }
 
     // Precompute t_l(v^(i), C) for every C in C(v^(i)).
     std::vector<double> node_costs(vi_configs.size());
@@ -406,33 +469,41 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   // back-substitution runs per component root.
   std::vector<i64> roots;
   {
-    Bitset covered(n);
-    for (i64 i = n - 1; i >= 0; --i) {
-      const NodeId vi = order.seq[static_cast<size_t>(i)];
-      if (covered.test(vi)) continue;
-      roots.push_back(i);
-      for (NodeId v : compute_vertex_sets(graph, order, i).connected)
-        covered.set(v);
+    PhaseScope phase(trace, metrics, "back_substitution",
+                     "dp.phase.back_substitution_seconds");
+    {
+      Bitset covered(n);
+      for (i64 i = n - 1; i >= 0; --i) {
+        const NodeId vi = order.seq[static_cast<size_t>(i)];
+        if (covered.test(vi)) continue;
+        roots.push_back(i);
+        for (NodeId v : compute_vertex_sets(graph, order, i).connected)
+          covered.set(v);
+      }
     }
-  }
+    phase.arg("roots", static_cast<i64>(roots.size()));
 
-  result.best_cost = 0.0;
-  result.strategy.assign(static_cast<size_t>(n), Config{});
-  std::fill(cur_idx.begin(), cur_idx.end(), 0);
-  for (i64 root : roots) {
-    const PositionState& st = states[static_cast<size_t>(root)];
-    PASE_CHECK(st.dependent.empty());
-    PASE_CHECK(st.table.size() == 1);
-    result.best_cost += st.table[0].cost;
-    // Back-substitution (paper: "a simple back-substitution, starting from
-    // v^(|V|).cfg, provides the best strategy").
-    extract(states, order, configs, root, cur_idx, result.strategy);
+    result.best_cost = 0.0;
+    result.strategy.assign(static_cast<size_t>(n), Config{});
+    std::fill(cur_idx.begin(), cur_idx.end(), 0);
+    for (i64 root : roots) {
+      const PositionState& st = states[static_cast<size_t>(root)];
+      PASE_CHECK(st.dependent.empty());
+      PASE_CHECK(st.table.size() == 1);
+      result.best_cost += st.table[0].cost;
+      // Back-substitution (paper: "a simple back-substitution, starting from
+      // v^(|V|).cfg, provides the best strategy").
+      extract(states, order, configs, root, cur_idx, result.strategy);
+    }
+    for (const Config& c : result.strategy)
+      PASE_CHECK_MSG(c.rank() > 0, "extraction must assign every node");
   }
-  for (const Config& c : result.strategy)
-    PASE_CHECK_MSG(c.rank() > 0, "extraction must assign every node");
+  if (metrics)
+    metrics->add_counter("dp.roots", static_cast<u64>(roots.size()));
 
   record_cache_stats();
   result.elapsed_seconds = timer.elapsed_seconds();
+  record_metrics();
   return result;
 }
 

@@ -50,6 +50,9 @@
 
 namespace pase {
 
+class MetricsRegistry;
+class TraceSession;
+
 struct DpOptions {
   ConfigOptions config_options;
   CostParams cost_params;
@@ -82,6 +85,16 @@ struct DpOptions {
   /// cost/cost_cache.h). Never changes results; pase_cli --no-cost-cache
   /// disables it for ablation.
   bool use_cost_cache = true;
+
+  /// Optional observability sinks (src/obs); either or both may be null.
+  /// `trace` records phase and per-vertex spans (ordering, dep_sets,
+  /// table_fill, back_substitution, worker task spans); `metrics` collects
+  /// dp.* counters/histograms/gauges. Attaching them never changes results,
+  /// and every structural metric recorded is bit-identical across thread
+  /// counts (see src/obs/metrics.h and DESIGN.md §9). Both must outlive the
+  /// solve.
+  TraceSession* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 enum class DpStatus {

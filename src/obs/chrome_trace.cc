@@ -1,0 +1,33 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+namespace pase {
+
+std::string to_chrome_trace_json(const std::vector<ChromeEvent>& events) {
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  for (const ChromeEvent& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%lld,"
+                  "\"tid\":%lld,\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+                  first ? "" : ",", e.name.c_str(),
+                  static_cast<long long>(e.pid), static_cast<long long>(e.tid),
+                  e.ts_us, e.dur_us);
+    out += buf;
+    bool first_arg = true;
+    for (const auto& [key, value] : e.args) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld", first_arg ? "" : ",",
+                    key.c_str(), static_cast<long long>(value));
+      out += buf;
+      first_arg = false;
+    }
+    out += "}}";
+    first = false;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace pase

@@ -1,0 +1,36 @@
+// Shared Chrome trace-event JSON emitter (load the output in
+// chrome://tracing or Perfetto). Both trace producers in the system — the
+// discrete-event simulator's per-layer timeline (src/sim) and the search
+// TraceSession (obs/trace.h) — render through this one function, so the
+// wire format is defined in exactly one place and cannot drift between
+// them.
+//
+// Format contract: complete ("ph":"X") events, timestamps and durations in
+// microseconds rendered with %.3f, integer args. The rendering is
+// byte-stable: the same event vector always produces the same string,
+// which is what lets the golden-output harness diff trace files.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pase {
+
+/// One complete slice. `args` are emitted in the order given (callers pass
+/// a fixed order, keeping output deterministic).
+struct ChromeEvent {
+  std::string name;
+  i64 pid = 0;
+  i64 tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<std::pair<std::string, i64>> args;
+};
+
+/// Renders `events` as a Chrome trace-event JSON array, one event per line.
+std::string to_chrome_trace_json(const std::vector<ChromeEvent>& events);
+
+}  // namespace pase

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/chrome_trace.h"
 #include "util/check.h"
 
 namespace pase {
@@ -22,27 +23,26 @@ double Simulator::all_reduce_time(double volume, i64 group) const {
 }
 
 std::string to_chrome_trace_json(const SimTrace& trace) {
-  std::string out = "[";
-  char buf[256];
-  bool first = true;
+  // Lower the simulator's per-layer timeline onto the shared emitter
+  // (obs/chrome_trace.h): each layer contributes a compute slice and, when
+  // non-empty, a trailing " (comm)" slice. The rendered bytes are identical
+  // to what the simulator emitted before the emitter was shared.
+  std::vector<ChromeEvent> events;
+  events.reserve(trace.events.size() * 2);
   for (const TraceEvent& e : trace.events) {
     for (int phase = 0; phase < 2; ++phase) {
       const double start = phase == 0 ? e.start_s : e.start_s + e.compute_s;
       const double dur = phase == 0 ? e.compute_s : e.comm_s;
       if (dur <= 0.0) continue;
-      std::snprintf(buf, sizeof(buf),
-                    "%s\n{\"name\":\"%s%s\",\"ph\":\"X\",\"pid\":0,"
-                    "\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,"
-                    "\"args\":{\"devices\":%lld}}",
-                    first ? "" : ",", e.name.c_str(),
-                    phase == 0 ? "" : " (comm)", start * 1e6, dur * 1e6,
-                    static_cast<long long>(e.degree));
-      out += buf;
-      first = false;
+      ChromeEvent out;
+      out.name = phase == 0 ? e.name : e.name + " (comm)";
+      out.ts_us = start * 1e6;
+      out.dur_us = dur * 1e6;
+      out.args.emplace_back("devices", e.degree);
+      events.push_back(std::move(out));
     }
   }
-  out += "\n]\n";
-  return out;
+  return to_chrome_trace_json(events);
 }
 
 SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pase {
@@ -98,7 +99,10 @@ bool ThreadPool::run_one() {
   const i64 slot = tls_identity.pool == this ? tls_identity.slot : -1;
   std::function<void()> task;
   if (!try_pop(slot, task)) return false;
-  task();
+  {
+    TraceSession::Span s(trace_.load(std::memory_order_acquire), "task");
+    task();
+  }
   return true;
 }
 
@@ -107,7 +111,10 @@ void ThreadPool::worker_main(i64 slot) {
   for (;;) {
     std::function<void()> task;
     if (try_pop(slot, task)) {
-      task();
+      {
+        TraceSession::Span s(trace_.load(std::memory_order_acquire), "task");
+        task();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lk(idle_mu_);

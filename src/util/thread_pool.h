@@ -21,6 +21,7 @@
 //    queued tasks before joining.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -34,6 +35,8 @@
 #include "util/types.h"
 
 namespace pase {
+
+class TraceSession;
 
 class ThreadPool {
  public:
@@ -91,6 +94,15 @@ class ThreadPool {
   /// empty. Public so callers can help drain the pool while polling.
   bool run_one();
 
+  /// Attaches (or detaches, with nullptr) a trace session: every task the
+  /// pool executes is then recorded as a "task" span on the executing
+  /// thread's lane. The session must outlive its attachment; task spans are
+  /// scheduling-dependent and therefore land in volatile trace/gauge data
+  /// only, never in structural metrics (see src/obs/metrics.h).
+  void set_trace(TraceSession* trace) {
+    trace_.store(trace, std::memory_order_release);
+  }
+
  private:
   struct WorkerDeque {
     std::mutex mu;
@@ -110,6 +122,7 @@ class ThreadPool {
   bool stop_ = false;
 
   std::atomic<u64> rr_{0};  ///< round-robin cursor for external submissions
+  std::atomic<TraceSession*> trace_{nullptr};
 };
 
 }  // namespace pase

@@ -9,6 +9,7 @@
 
 #include "core/dp_solver.h"
 #include "models/models.h"
+#include "obs/metrics.h"
 #include "search/baselines.h"
 #include "search/brute_force.h"
 #include "search/mcmc.h"
@@ -48,6 +49,39 @@ TEST(Determinism, DpSolverIdenticalAcrossThreadCounts) {
           << c.name << " threads=" << threads;
       EXPECT_EQ(r.threads_used, threads) << c.name;
     }
+  }
+}
+
+TEST(Determinism, StructuralMetricsIdenticalAcrossThreadCounts) {
+  // The observability contract (src/obs/metrics.h, DESIGN.md §9): every
+  // counter and histogram the solver records — cost-cache hits/misses,
+  // per-vertex substrategy counts, dependent-set sizes — is a pure function
+  // of the input, so the structural JSON dump must be BYTE-identical at any
+  // thread count. Gauges (timings) are exempt and not compared.
+  const Graph g = models::inception_v3();
+  std::string base_json;
+  DpResult base;
+  for (const i64 threads : {1, 4, 8}) {
+    MetricsRegistry reg;
+    DpOptions o = options_for(8, threads);
+    o.metrics = &reg;
+    const DpResult r = find_best_strategy(g, o);
+    ASSERT_EQ(r.status, DpStatus::kOk) << "threads=" << threads;
+    if (threads == 1) {
+      base_json = reg.structural_json();
+      base = r;
+      continue;
+    }
+    EXPECT_EQ(reg.structural_json(), base_json) << "threads=" << threads;
+    // The same quantities via the solver's own diagnostics.
+    EXPECT_EQ(r.cost_cache_hits, base.cost_cache_hits)
+        << "threads=" << threads;
+    EXPECT_EQ(r.cost_cache_misses, base.cost_cache_misses)
+        << "threads=" << threads;
+    EXPECT_EQ(r.dependent_set_sizes, base.dependent_set_sizes)
+        << "threads=" << threads;
+    EXPECT_EQ(r.max_combinations_analyzed, base.max_combinations_analyzed)
+        << "threads=" << threads;
   }
 }
 

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
+#include "comm/comm_model.h"
 #include "core/dp_solver.h"
+#include "cost/cost_model.h"
 #include "models/models.h"
 #include "search/baselines.h"
 #include "search/mcmc.h"
@@ -151,6 +154,98 @@ TEST(SimulatorProperty, StepTimeLowerBoundedByBottleneckCompute) {
   opt.cost_params = params;
   const DpResult r = find_best_strategy(g, opt);
   EXPECT_GE(sim.simulate(r.strategy).step_time_s, bound);
+}
+
+// ---- DP optimality relative to the baseline strategy generators.
+
+class DpBeatsBaselinesSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DpBeatsBaselinesSweep, DpCostNeverWorseThanAnyBaseline) {
+  // The DP optimum is taken over the full enumerated configuration space,
+  // which contains every baseline's per-node configs (baselines clamp to
+  // power-of-two factors within the device budget), so the DP cost must be
+  // <= every baseline's cost under the same cost model.
+  const i64 p = 8;
+  const Graph g = testing::random_graph(7, 3, GetParam());
+  DpOptions opt;
+  opt.config_options.max_devices = p;
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(p));
+  const DpResult r = find_best_strategy(g, opt);
+  ASSERT_EQ(r.status, DpStatus::kOk);
+
+  const CostModel cost(g, opt.cost_params);
+  const struct {
+    const char* name;
+    Strategy phi;
+  } baselines[] = {
+      {"data_parallel", data_parallel_strategy(g, p)},
+      {"owt", owt_strategy(g, p)},
+      {"expert", expert_strategy(g, p)},
+  };
+  for (const auto& b : baselines) {
+    EXPECT_LE(r.best_cost, cost.total_cost(b.phi) * (1 + 1e-9))
+        << "seed=" << GetParam() << " baseline=" << b.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpBeatsBaselinesSweep,
+                         ::testing::Values(101, 102, 103, 104));
+
+// ---- Comm-model auto-selection dominates every forced algorithm.
+
+TEST(CommModelProperty, AutoNeverWorseThanAnyForcedAlgorithm) {
+  // kAuto prices each (collective, bytes, group) shape with the argmin over
+  // the algorithm families, so its time is exactly <= each family's time.
+  const MachineSpec machines[] = {MachineSpec::gtx1080ti(16),
+                                  MachineSpec::rtx2080ti(16),
+                                  MachineSpec::mixed_cluster(16)};
+  const Collective collectives[] = {
+      Collective::kAllReduce, Collective::kAllGather,
+      Collective::kReduceScatter, Collective::kBroadcast,
+      Collective::kAllToAll};
+  const CommAlgo algos[] = {CommAlgo::kRing, CommAlgo::kTree,
+                            CommAlgo::kHalvingDoubling,
+                            CommAlgo::kHierarchical};
+  Rng rng(2026);
+  for (const MachineSpec& m : machines) {
+    const CommModel auto_model(m, CommModelKind::kAuto);
+    for (int trial = 0; trial < 50; ++trial) {
+      const double bytes =
+          static_cast<double>(1 + rng.uniform(u64{1} << 24));
+      const i64 group = static_cast<i64>(2 + rng.uniform(15));
+      for (const Collective c : collectives) {
+        const double chosen = auto_model.collective_time(c, bytes, group);
+        for (const CommAlgo a : algos) {
+          EXPECT_LE(chosen, auto_model.algorithm_time(a, c, bytes, group))
+              << collective_name(c) << " vs " << comm_algo_name(a)
+              << " bytes=" << bytes << " group=" << group;
+        }
+      }
+    }
+  }
+}
+
+// ---- Simulated step time is monotone in link bandwidth.
+
+TEST(SimulatorProperty, StepTimeMonotoneNonIncreasingInBandwidth) {
+  // Compute time is bandwidth-independent and every comm term is
+  // (latency + bytes/bw), so uniformly faster links can never slow a step.
+  const Graph graphs[] = {models::alexnet(), models::transformer()};
+  for (const Graph& g : graphs) {
+    const Strategy phi = data_parallel_strategy(g, 8);
+    double prev = std::numeric_limits<double>::infinity();
+    for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      MachineSpec m = MachineSpec::gtx1080ti(8);
+      m.link_bandwidth *= scale;
+      m.intra_node_bandwidth *= scale;
+      m.inter_node_bandwidth *= scale;
+      const Simulator sim(g, m);
+      const double step = sim.simulate(phi).step_time_s;
+      EXPECT_TRUE(std::isfinite(step));
+      EXPECT_LE(step, prev * (1 + 1e-12)) << "scale=" << scale;
+      prev = step;
+    }
+  }
 }
 
 // ---- Memory estimator consistency with node-level accounting.

@@ -8,8 +8,11 @@
 # parallel search engine, and a third build under UBSan alone
 # (-DPASE_SANITIZE=undefined) re-runs the full unit suite — UBSan combined
 # with ASan suppresses some checks, so the standalone stage is stricter.
+# A gcov coverage build (-DPASE_COVERAGE=ON) then runs the fast test tier
+# and enforces a line-coverage floor over src/ (COV_FLOOR, default 70%).
 # Finally a docs gate cross-checks README.md against `pase_cli --help` so
-# flag documentation cannot drift.
+# flag documentation cannot drift. Golden/zoo-sweep tests carry the ctest
+# label `slow` and are excluded from the sanitizer lanes (`-LE slow`).
 #
 # Usage: tools/check.sh [build-dir]   (default: build-asan; the TSan build
 # goes in <build-dir>-tsan)
@@ -34,8 +37,8 @@ note "building (-j$JOBS)"
 cmake --build "$BUILD" -j "$JOBS" > "$BUILD.build.log" 2>&1 \
   || { bad "build (see $BUILD.build.log)"; exit 1; }
 
-note "running unit tests under sanitizers"
-(cd "$BUILD" && ctest --output-on-failure -j "$JOBS") || bad "ctest"
+note "running unit tests under sanitizers (fast tier: -LE slow)"
+(cd "$BUILD" && ctest --output-on-failure -LE slow -j "$JOBS") || bad "ctest"
 
 CLI="$BUILD/tools/pase_cli"
 
@@ -78,6 +81,32 @@ expect 0 "dense model degrades gracefully" -- \
 expect 1 "dense model under --strict" -- \
   "$ROOT/tools/dense_model.pase" --devices 4 --strict
 
+note "observability flags (--trace-out / --metrics-out)"
+OBS_TMP="${TMPDIR:-/tmp}/pase_check_obs"
+mkdir -p "$OBS_TMP"
+expect 0 "trace + metrics outputs" -- \
+  "$ROOT/tools/example_model.pase" --devices 8 \
+  --trace-out "$OBS_TMP/trace.json" --metrics-out "$OBS_TMP/metrics.json"
+for phase in ordering configs dep_sets table_fill back_substitution; do
+  grep -q "\"name\":\"$phase\"" "$OBS_TMP/trace.json" \
+    || bad "trace missing phase span: $phase"
+done
+grep -q '"dp.cost_cache.misses"' "$OBS_TMP/metrics.json" \
+  || bad "metrics snapshot missing dp.cost_cache.misses"
+# The structural sections (counters + histograms; everything before the
+# volatile gauges) must be byte-identical across thread counts.
+"$CLI" "$ROOT/tools/example_model.pase" --devices 8 --threads 1 \
+  --metrics-out "$OBS_TMP/m1.json" > /dev/null 2>&1 || bad "metrics at -t1"
+"$CLI" "$ROOT/tools/example_model.pase" --devices 8 --threads 8 \
+  --metrics-out "$OBS_TMP/m8.json" > /dev/null 2>&1 || bad "metrics at -t8"
+sed '/"gauges"/,$d' "$OBS_TMP/m1.json" > "$OBS_TMP/m1.structural"
+sed '/"gauges"/,$d' "$OBS_TMP/m8.json" > "$OBS_TMP/m8.structural"
+if cmp -s "$OBS_TMP/m1.structural" "$OBS_TMP/m8.structural"; then
+  note "ok structural metrics identical at 1 vs 8 threads"
+else
+  bad "structural metrics differ between --threads 1 and --threads 8"
+fi
+
 TSAN_BUILD="$BUILD-tsan"
 note "configuring TSan build in $TSAN_BUILD"
 cmake -B "$TSAN_BUILD" -S "$ROOT" -DPASE_SANITIZE=thread \
@@ -108,8 +137,51 @@ if [ -f "$UBSAN_BUILD/CMakeCache.txt" ]; then
     || bad "UBSan build (see $UBSAN_BUILD.build.log)"
   if [ -x "$UBSAN_BUILD/tests/pase_tests" ]; then
     note "running full test suite under UBSan"
-    "$UBSAN_BUILD/tests/pase_tests" > "$UBSAN_BUILD.test.log" 2>&1 \
+    "$UBSAN_BUILD/tests/pase_tests" --gtest_filter='-*Golden*:ObsZoo*' \
+        > "$UBSAN_BUILD.test.log" 2>&1 \
       || bad "UBSan test suite (see $UBSAN_BUILD.test.log)"
+  fi
+fi
+
+COV_BUILD="$BUILD-cov"
+COV_FLOOR="${COV_FLOOR:-70}"
+note "configuring coverage build in $COV_BUILD"
+cmake -B "$COV_BUILD" -S "$ROOT" -DPASE_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug > "$COV_BUILD.configure.log" 2>&1 \
+  || bad "coverage cmake configure (see $COV_BUILD.configure.log)"
+if [ -f "$COV_BUILD/CMakeCache.txt" ]; then
+  note "building coverage tests (-j$JOBS)"
+  cmake --build "$COV_BUILD" -j "$JOBS" --target pase_tests \
+        > "$COV_BUILD.build.log" 2>&1 \
+    || bad "coverage build (see $COV_BUILD.build.log)"
+  if [ -x "$COV_BUILD/tests/pase_tests" ]; then
+    note "running fast test tier with gcov instrumentation"
+    (cd "$COV_BUILD" && ctest -LE slow -j "$JOBS" > ctest.log 2>&1) \
+      || bad "coverage test run (see $COV_BUILD/ctest.log)"
+    note "aggregating line coverage over src/ (floor: $COV_FLOOR%)"
+    # gcov per .gcda; -r drops system headers, -s makes paths repo-relative.
+    # Pair each "File 'src/...'" line with its "Lines executed:P% of N".
+    mkdir -p "$COV_BUILD/gcov-scratch"
+    COV_PCT="$(cd "$COV_BUILD/gcov-scratch" && \
+      find "$COV_BUILD" -name '*.gcda' \
+          -exec gcov -r -s "$ROOT" {} + 2>/dev/null | \
+      awk "
+        /^File /            { keep = (\$0 ~ /'src\//) }
+        keep && /^Lines executed:/ {
+          line = \$0
+          sub(/^Lines executed:/, \"\", line)
+          split(line, parts, /% of /)
+          covered += parts[1] / 100 * parts[2]
+          total   += parts[2]
+          keep = 0
+        }
+        END { printf \"%.1f\", total ? 100 * covered / total : 0 }
+      ")"
+    if awk -v p="$COV_PCT" -v f="$COV_FLOOR" 'BEGIN{exit !(p+0 >= f+0)}'; then
+      note "ok line coverage on src/: $COV_PCT% (floor $COV_FLOOR%)"
+    else
+      bad "line coverage on src/ is $COV_PCT%, below the $COV_FLOOR% floor"
+    fi
   fi
 fi
 

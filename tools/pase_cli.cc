@@ -48,9 +48,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "core/dp_solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/strategy.h"
 #include "fault/fault_model.h"
 #include "fault/robustness.h"
@@ -74,6 +77,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]\n"
       "          [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]\n"
+      "          [--trace-out FILE] [--metrics-out FILE]\n"
       "          [--deadline SECONDS] [--strict] [--beam-width N]\n"
       "          [--threads N] [--no-cost-cache]\n"
       "          [--comm-model simple|auto|ring|tree|hd|hier]\n"
@@ -82,6 +86,12 @@ void print_usage(std::FILE* out, const char* argv0) {
       "S]\n"
       "          [--help]\n"
       "\n"
+      "observability: --trace-out FILE records the search itself (DP phases\n"
+      "            and worker tasks) as Chrome trace-event JSON — distinct\n"
+      "            from --trace, which records the simulated step timeline;\n"
+      "            --metrics-out FILE dumps the search metrics snapshot\n"
+      "            (counters/histograms/gauges; the counter and histogram\n"
+      "            sections are bit-identical at any --threads setting)\n"
       "search engine: --threads N worker threads for the DP fan-out\n"
       "            (0 = hardware concurrency, the default; results are\n"
       "            bit-identical at any thread count); --no-cost-cache\n"
@@ -143,6 +153,8 @@ int main(int argc, char** argv) {
   bool baseline = false;
   const char* export_path = nullptr;
   const char* trace_path = nullptr;
+  const char* trace_out_path = nullptr;
+  const char* metrics_out_path = nullptr;
   double deadline_seconds = 0.0;
   bool strict = false;
   i64 beam_width = 256;
@@ -182,6 +194,10 @@ int main(int argc, char** argv) {
       if (!value(&export_path)) return kExitUsage;
     } else if (std::strcmp(arg, "--trace") == 0) {
       if (!value(&trace_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if (!value(&trace_out_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (!value(&metrics_out_path)) return kExitUsage;
     } else if (std::strcmp(arg, "--deadline") == 0) {
       if (!value(&v) || !parse_double_flag(arg, v, &deadline_seconds))
         return kExitUsage;
@@ -304,6 +320,17 @@ int main(int argc, char** argv) {
   if (memory_gb > 0)
     options.config_options.filter = memory_config_filter(memory_gb * 1e9);
 
+  std::optional<TraceSession> trace_session;
+  std::optional<MetricsRegistry> metrics_registry;
+  if (trace_out_path) {
+    trace_session.emplace();
+    options.trace = &*trace_session;
+  }
+  if (metrics_out_path) {
+    metrics_registry.emplace();
+    options.metrics = &*metrics_registry;
+  }
+
   const DpResult r = find_best_strategy(model.graph, options);
   if (r.status == DpStatus::kOutOfMemory) {
     std::fprintf(stderr,
@@ -413,6 +440,37 @@ int main(int argc, char** argv) {
     }
     out << to_chrome_trace_json(trace);
     std::printf("chrome trace written to %s\n", trace_path);
+  }
+
+  if (trace_out_path) {
+    std::ofstream out(trace_out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out_path);
+      return kExitRuntime;
+    }
+    out << trace_session->to_chrome_json();
+    std::printf("search trace written to %s (%lld spans)\n", trace_out_path,
+                static_cast<long long>(trace_session->num_spans()));
+  }
+
+  if (metrics_out_path) {
+    // Fold the comm library's per-algorithm selection counts into the
+    // snapshot: comm.cost.* for the search's pricing backend (absent under
+    // --comm-model simple, which bypasses the library), comm.sim.* for the
+    // simulator's model.
+    if (options.cost_params.comm)
+      options.cost_params.comm->export_metrics(&*metrics_registry,
+                                               "comm.cost");
+    sim.comm_model().export_metrics(&*metrics_registry, "comm.sim");
+    std::ofstream out(metrics_out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out_path);
+      return kExitRuntime;
+    }
+    out << metrics_registry->to_json();
+    std::printf("metrics snapshot written to %s (%lld metrics)\n",
+                metrics_out_path,
+                static_cast<long long>(metrics_registry->num_metrics()));
   }
   return kExitOk;
 }
