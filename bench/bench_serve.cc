@@ -1,0 +1,140 @@
+// Serving-path benchmark: drives ServeCore directly (no sockets) and
+// reports the numbers the ROADMAP's BENCH_serve.json trajectory tracks —
+// per-model cold-solve vs cached-hit latency (the warm-cache payoff) and a
+// concurrent mixed-zoo burst with qps, p50/p99 latency and cache hit rate.
+//
+// Output is one canonical JSON object on stdout (redirect to
+// BENCH_serve.json); human-readable numbers go to stderr. The structural
+// claim checked by tools/check.sh: the cached-hit p50 must be at least 10x
+// faster than the cold solve for every model measured.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/server.h"
+
+using namespace pase;
+using namespace pase::serve;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string solve_line(const std::string& zoo, i64 devices) {
+  return "{\"op\":\"solve\",\"zoo\":\"" + zoo +
+         "\",\"devices\":" + std::to_string(devices) + "}";
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(q * static_cast<double>(v.size() - 1))];
+}
+
+}  // namespace
+
+int main() {
+  ServeOptions options;
+  options.workers = 4;
+  options.default_deadline_ms = 60000;
+  options.watchdog_grace_ms = 60000;
+
+  const std::vector<std::string> zoo = {"mlp", "alexnet", "vgg16",
+                                        "mobilenet_v1"};
+  const i64 p = 8;
+
+  Json models_json = Json::make_object();
+  std::fprintf(stderr, "%-14s %12s %12s %10s\n", "model", "cold(ms)",
+               "cached(ms)", "speedup");
+  {
+    ServeCore core(options);
+    for (const std::string& m : zoo) {
+      const std::string line = solve_line(m, p);
+      const double t0 = now_ms();
+      core.handle_line(line);
+      const double cold_ms = now_ms() - t0;
+      // Median of repeated hits: every one is verified against the stored
+      // check cost, so this prices the verify-on-hit path, not a blind
+      // lookup.
+      std::vector<double> hits;
+      for (int i = 0; i < 32; ++i) {
+        const double h0 = now_ms();
+        core.handle_line(line);
+        hits.push_back(now_ms() - h0);
+      }
+      const double cached_ms = percentile(hits, 0.5);
+      Json entry = Json::make_object();
+      entry.object["cold_ms"] = Json::make_number(cold_ms);
+      entry.object["cached_p50_ms"] = Json::make_number(cached_ms);
+      entry.object["speedup"] =
+          Json::make_number(cached_ms > 0 ? cold_ms / cached_ms : 0.0);
+      std::fprintf(stderr, "%-14s %12.3f %12.3f %9.1fx\n", m.c_str(),
+                   cold_ms, cached_ms,
+                   cached_ms > 0 ? cold_ms / cached_ms : 0.0);
+      models_json.object[m] = std::move(entry);
+    }
+  }
+
+  // Mixed-zoo burst on a fresh core: 4 client threads, 200 requests.
+  ServeCore core(options);
+  const i64 kRequests = 200;
+  const i64 kClients = 4;
+  std::vector<double> latencies(static_cast<size_t>(kRequests), 0.0);
+  std::atomic<i64> next{0};
+  const double burst0 = now_ms();
+  std::vector<std::thread> clients;
+  for (i64 c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const i64 k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= kRequests) return;
+        const std::string line =
+            solve_line(zoo[static_cast<size_t>(k) % zoo.size()], p);
+        const double t0 = now_ms();
+        core.handle_line(line);
+        latencies[static_cast<size_t>(k)] = now_ms() - t0;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double burst_s = (now_ms() - burst0) / 1e3;
+
+  const double hits =
+      static_cast<double>(core.metrics().counter("serve.cache.hits"));
+  const double misses =
+      static_cast<double>(core.metrics().counter("serve.cache.misses"));
+
+  Json burst = Json::make_object();
+  burst.object["requests"] = Json::make_number(static_cast<double>(kRequests));
+  burst.object["clients"] = Json::make_number(static_cast<double>(kClients));
+  burst.object["qps"] =
+      Json::make_number(static_cast<double>(kRequests) / burst_s);
+  burst.object["p50_ms"] = Json::make_number(percentile(latencies, 0.5));
+  burst.object["p99_ms"] = Json::make_number(percentile(latencies, 0.99));
+  burst.object["cache_hit_rate"] =
+      Json::make_number(hits + misses > 0 ? hits / (hits + misses) : 0.0);
+  std::fprintf(stderr,
+               "burst: %lld requests / %lld clients: %.0f qps, "
+               "p50=%.3fms p99=%.3fms hit-rate=%.2f\n",
+               static_cast<long long>(kRequests),
+               static_cast<long long>(kClients),
+               static_cast<double>(kRequests) / burst_s,
+               percentile(latencies, 0.5), percentile(latencies, 0.99),
+               hits / (hits + misses));
+
+  Json report = Json::make_object();
+  report.object["bench"] = Json::make_string("serve");
+  report.object["devices"] = Json::make_number(static_cast<double>(p));
+  report.object["models"] = std::move(models_json);
+  report.object["burst"] = std::move(burst);
+  std::printf("%s\n", write_json(report).c_str());
+  return 0;
+}

@@ -68,9 +68,16 @@ struct PositionState {
 /// edge is counted exactly once, when its later endpoint is placed, so a
 /// completed state's accumulated cost is exactly Eq. (1)). Work is bounded
 /// by beam_width * K per vertex — no substrategy tables, no blow-up.
-void beam_search_fallback(const Graph& graph, const Ordering& order,
+///
+/// Honors an external cancellation token (`cancel`, may be null): a serving
+/// watchdog that kills a runaway solve must not then wait for the fallback.
+/// Returns false (result.strategy untouched) when cancelled before
+/// completing; a deadline expiry alone never aborts the fallback, since the
+/// beam is the bounded answer *to* the expiry.
+bool beam_search_fallback(const Graph& graph, const Ordering& order,
                           const ConfigCache& configs, const CostModel& cost,
-                          i64 beam_width, DpResult& result) {
+                          i64 beam_width, const std::atomic<bool>* cancel,
+                          DpResult& result) {
   PASE_CHECK(beam_width >= 1);
   const i64 n = graph.num_nodes();
 
@@ -89,6 +96,7 @@ void beam_search_fallback(const Graph& graph, const Ordering& order,
   std::vector<Candidate> candidates;
 
   for (i64 i = 0; i < n; ++i) {
+    if (cancel && cancel->load(std::memory_order_relaxed)) return false;
     const NodeId vi = order.seq[static_cast<size_t>(i)];
     const auto& vi_configs = configs.at(vi);
 
@@ -149,6 +157,7 @@ void beam_search_fallback(const Graph& graph, const Ordering& order,
   // Report the authoritative Eq. (1) evaluation of the extracted strategy
   // (equal to best.cost up to floating-point association).
   result.best_cost = cost.total_cost(result.strategy);
+  return true;
 }
 
 /// Recursive back-substitution: assigns v^(i)'s best configuration under the
@@ -185,14 +194,29 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   }
   const ConfigCache& configs = *configs_storage;
 
-  std::optional<CostCache> cost_cache;
-  if (options.use_cost_cache) cost_cache.emplace(graph);
+  // Per-solve cache by default; a caller-owned shared cache (the serving
+  // daemon keeps one warm per graph signature) survives across solves, so
+  // its counters are reported as this solve's delta. Under concurrent
+  // solves sharing one cache the delta is approximate (other requests bump
+  // the same counters) — diagnostics only, never results.
+  std::optional<CostCache> own_cost_cache;
+  CostCache* cost_cache = nullptr;
+  if (options.use_cost_cache) {
+    if (options.shared_cost_cache) {
+      cost_cache = options.shared_cost_cache;
+    } else {
+      own_cost_cache.emplace(graph);
+      cost_cache = &*own_cost_cache;
+    }
+  }
+  const u64 hits0 = cost_cache ? cost_cache->hits() : 0;
+  const u64 misses0 = cost_cache ? cost_cache->misses() : 0;
   CostModel cost(graph, options.cost_params);
-  if (cost_cache) cost.attach_cache(&*cost_cache);
+  if (cost_cache) cost.attach_cache(cost_cache);
   auto record_cache_stats = [&] {
     if (!cost_cache) return;
-    result.cost_cache_hits = cost_cache->hits();
-    result.cost_cache_misses = cost_cache->misses();
+    result.cost_cache_hits = cost_cache->hits() - hits0;
+    result.cost_cache_misses = cost_cache->misses() - misses0;
   };
   // Final metrics flush, shared by every exit path. Counters/histograms
   // recorded here are structural — pure functions of (graph, options minus
@@ -242,18 +266,30 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   std::vector<PositionState> states(static_cast<size_t>(n));
   std::vector<u32> cur_idx(static_cast<size_t>(n), 0);
 
-  // Guard/deadline trips either abort the exact DP (kOutOfMemory, the paper
-  // Table I outcome) or degrade gracefully to the beam-search fallback.
-  auto degrade_or_fail = [&](std::string reason) -> DpResult {
+  // Guard/deadline/cancellation trips either abort the exact DP
+  // (kOutOfMemory, the paper Table I outcome) or degrade gracefully to the
+  // beam-search fallback — which itself honors the external cancel token,
+  // so a watchdog kill cannot be stalled by the fallback either.
+  auto degrade_or_fail = [&](std::string reason,
+                             DpResult::TripCause cause) -> DpResult {
     result.guard_reason = std::move(reason);
+    result.trip_cause = cause;
+    bool fallback_ok = false;
     if (options.degraded_fallback) {
       PhaseScope phase(trace, metrics, "beam_fallback",
                        "dp.phase.beam_fallback_seconds");
-      beam_search_fallback(graph, order, configs, cost, options.beam_width,
-                           result);
+      fallback_ok =
+          beam_search_fallback(graph, order, configs, cost,
+                               options.beam_width, options.cancel, result);
+    }
+    if (fallback_ok) {
       result.status = DpStatus::kDegraded;
     } else {
       result.status = DpStatus::kOutOfMemory;
+      if (options.degraded_fallback) {
+        result.guard_reason += "; beam fallback cancelled";
+        result.trip_cause = DpResult::TripCause::kCancelled;
+      }
     }
     record_cache_stats();
     result.elapsed_seconds = timer.elapsed_seconds();
@@ -264,15 +300,32 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     return options.deadline_seconds > 0.0 &&
            timer.elapsed_seconds() > options.deadline_seconds;
   };
-  // Cooperative cancellation across workers once the deadline expires.
+  // Cancellation (external token beats deadline: the watchdog's kill is the
+  // more urgent signal and its message should say "cancelled").
+  auto abort_cause = [&]() -> DpResult::TripCause {
+    if (options.cancel && options.cancel->load(std::memory_order_relaxed))
+      return DpResult::TripCause::kCancelled;
+    if (deadline_expired()) return DpResult::TripCause::kDeadline;
+    return DpResult::TripCause::kNone;
+  };
+  auto abort_message = [&](DpResult::TripCause cause,
+                           const std::string& where) {
+    return (cause == DpResult::TripCause::kCancelled
+                ? std::string("cancelled ")
+                : "deadline of " + fmt_count(options.deadline_seconds) +
+                      "s expired ") +
+           where;
+  };
+  // Cooperative cancellation across workers once the deadline expires or
+  // the external token is observed set.
   std::atomic<bool> cancel{false};
 
   for (i64 i = 0; i < n; ++i) {
-    if (deadline_expired())
-      return degrade_or_fail("deadline of " +
-                             fmt_count(options.deadline_seconds) +
-                             "s expired at vertex " + std::to_string(i) +
-                             " of " + std::to_string(n));
+    if (const auto cause = abort_cause(); cause != DpResult::TripCause::kNone)
+      return degrade_or_fail(
+          abort_message(cause, "at vertex " + std::to_string(i) + " of " +
+                                   std::to_string(n)),
+          cause);
     const NodeId vi = order.seq[static_cast<size_t>(i)];
     const auto& vi_configs = configs.at(vi);
     PositionState& st = states[static_cast<size_t>(i)];
@@ -306,13 +359,15 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
     if (combos > static_cast<double>(options.max_table_entries))
       return degrade_or_fail(
           "substrategy table for vertex " + std::to_string(i) + " needs " +
-          fmt_count(combos) + " entries (guard: " +
-          std::to_string(options.max_table_entries) + ")");
+              fmt_count(combos) + " entries (guard: " +
+              std::to_string(options.max_table_entries) + ")",
+          DpResult::TripCause::kTableGuard);
     if (work > static_cast<double>(options.max_combinations))
       return degrade_or_fail(
           "vertex " + std::to_string(i) + " needs " + fmt_count(work) +
-          " combination evaluations (guard: " +
-          std::to_string(options.max_combinations) + ")");
+              " combination evaluations (guard: " +
+              std::to_string(options.max_combinations) + ")",
+          DpResult::TripCause::kWorkGuard);
     result.max_combinations_analyzed = std::max(
         result.max_combinations_analyzed, static_cast<u64>(work));
 
@@ -335,10 +390,28 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
       metrics->record("dp.substrategies_per_vertex", static_cast<i64>(prod));
     }
 
+    // The t_l / t_x precompute loops below can dominate wall time on a
+    // single-large-vertex model — they make |C(v^(i))| + sum_w |C(v^(i))| x
+    // |C(w)| cost-model calls before the table fill ever starts — so they
+    // carry their own amortized abort check (every 256 cost calls; a
+    // steady_clock read amortized over 256 cost evaluations is noise).
+    u64 precompute_tick = 0;
+    auto precompute_cause = [&]() -> DpResult::TripCause {
+      if ((++precompute_tick & 255u) != 0) return DpResult::TripCause::kNone;
+      return abort_cause();
+    };
+
     // Precompute t_l(v^(i), C) for every C in C(v^(i)).
     std::vector<double> node_costs(vi_configs.size());
-    for (size_t c = 0; c < vi_configs.size(); ++c)
+    for (size_t c = 0; c < vi_configs.size(); ++c) {
+      if (const auto cause = precompute_cause();
+          cause != DpResult::TripCause::kNone)
+        return degrade_or_fail(
+            abort_message(cause, "precomputing costs for vertex " +
+                                     std::to_string(i)),
+            cause);
       node_costs[c] = cost.node_cost(vi, vi_configs[c]);
+    }
 
     // Later edges of v^(i) (the H function's transfer terms) with their full
     // |C(v^(i))| x |C(w)| cost matrices; every later neighbor w is in D(i).
@@ -359,6 +432,12 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
       le.cost_matrix.resize(vi_configs.size() * w_configs.size());
       for (size_t ci = 0; ci < vi_configs.size(); ++ci)
         for (size_t cw = 0; cw < w_configs.size(); ++cw) {
+          if (const auto cause = precompute_cause();
+              cause != DpResult::TripCause::kNone)
+            return degrade_or_fail(
+                abort_message(cause, "precomputing costs for vertex " +
+                                         std::to_string(i)),
+                cause);
           const Config& src = e.src == vi ? vi_configs[ci] : w_configs[cw];
           const Config& dst = e.src == vi ? w_configs[cw] : vi_configs[ci];
           le.cost_matrix[ci * w_configs.size() + cw] =
@@ -397,10 +476,16 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
         odo[k] = static_cast<u32>((p0 / st.stride[k]) % st.radix[k]);
         cur[static_cast<size_t>(st.dependent[k])] = odo[k];
       }
+      // Amortized abort check every ~8k *combinations* — counting phi
+      // indices would let a vertex with few substrategies but a huge
+      // configuration set blow far past the deadline between checks.
+      u64 combos_since_check = 0;
       for (u64 idx = p0; idx < p1; ++idx) {
-        if (((idx - p0) & 8191u) == 8191u) {
+        combos_since_check += vi_configs.size();
+        if (combos_since_check >= 8192) {
+          combos_since_check = 0;
           if (cancel.load(std::memory_order_relaxed)) return;
-          if (deadline_expired()) {
+          if (abort_cause() != DpResult::TripCause::kNone) {
             cancel.store(true, std::memory_order_relaxed);
             return;
           }
@@ -446,20 +531,27 @@ DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
       // every table entry) is independent of scheduling and thread count.
       const i64 grain = std::max<i64>(
           64, ceil_div(static_cast<i64>(prod), threads * 8));
-      pool->parallel_for(0, static_cast<i64>(prod), grain,
-                         [&](i64 b0, i64 b1) {
-                           std::vector<u32> cur(static_cast<size_t>(n), 0);
-                           process_range(static_cast<u64>(b0),
-                                         static_cast<u64>(b1), cur);
-                         });
+      pool->parallel_for(
+          0, static_cast<i64>(prod), grain,
+          [&](i64 b0, i64 b1) {
+            std::vector<u32> cur(static_cast<size_t>(n), 0);
+            process_range(static_cast<u64>(b0), static_cast<u64>(b1), cur);
+          },
+          &cancel);
     } else {
       process_range(0, prod, cur_idx);
     }
-    if (cancel.load(std::memory_order_relaxed))
+    if (cancel.load(std::memory_order_relaxed)) {
+      // Classify after the fact: the external token stays set and an
+      // expired deadline stays expired, so the cause is still observable.
+      auto cause = abort_cause();
+      if (cause == DpResult::TripCause::kNone)
+        cause = DpResult::TripCause::kDeadline;
       return degrade_or_fail(
-          "deadline of " + fmt_count(options.deadline_seconds) +
-          "s expired enumerating substrategies of vertex " +
-          std::to_string(i));
+          abort_message(cause, "enumerating substrategies of vertex " +
+                                   std::to_string(i)),
+          cause);
+    }
   }
 
   // For a weakly connected graph the last vertex covers everything:

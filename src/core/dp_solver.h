@@ -38,6 +38,7 @@
 // are safe, as each call owns all of its mutable state.
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <string>
 #include <vector>
@@ -65,8 +66,18 @@ struct DpOptions {
   u64 max_combinations = u64{2} << 30;
 
   /// Wall-clock budget for the exact DP; 0 = unlimited. Expiry is treated
-  /// like a tripped guard (fallback or kOutOfMemory).
+  /// like a tripped guard (fallback or kOutOfMemory). Checked between
+  /// vertices, inside the precompute loops, and (amortized, every few
+  /// thousand combinations) inside the table-fill inner loop, so even a
+  /// single-large-vertex model honors a tight budget promptly.
   double deadline_seconds = 0.0;
+  /// Optional external cancellation token (e.g. a serving watchdog). When
+  /// non-null and set, the solve aborts at the next cancellation point and
+  /// is treated exactly like a deadline expiry (fallback or kOutOfMemory),
+  /// except the beam-search fallback also honors the token and may return
+  /// kOutOfMemory if cancelled before producing a strategy. The pointee
+  /// must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
   /// Graceful degradation: when a guard or the deadline trips, run a
   /// bounded beam search over the same ordering and recurrence costs
   /// instead of returning no strategy (status kDegraded). Off by default so
@@ -85,6 +96,17 @@ struct DpOptions {
   /// cost/cost_cache.h). Never changes results; pase_cli --no-cost-cache
   /// disables it for ablation.
   bool use_cost_cache = true;
+  /// Optional caller-owned cost cache shared across solves (the serving
+  /// daemon keeps one warm per (graph signature, cost params) pair so a hot
+  /// re-query skips every t_l/t_x recomputation). When non-null (and
+  /// use_cost_cache is true) the solver uses it instead of constructing a
+  /// fresh per-solve cache; DpResult hit/miss stats then report this
+  /// solve's *delta* only. Contract: the cache must have been built against
+  /// a graph structurally identical to `graph` (same nodes/edges in the
+  /// same order) under identical CostParams — see cost/cost_cache.h. The
+  /// cache is thread-safe; it never changes results (cost functions are
+  /// pure). Must outlive the call.
+  CostCache* shared_cost_cache = nullptr;
 
   /// Optional observability sinks (src/obs); either or both may be null.
   /// `trace` records phase and per-vertex spans (ordering, dep_sets,
@@ -121,6 +143,13 @@ struct DpResult {
 
   /// Which guard tripped, human-readable (set for kOutOfMemory/kDegraded).
   std::string guard_reason;
+  /// Machine-readable guard classification (mirrors guard_reason). The
+  /// serving layer uses this to decide cacheability: kTableGuard/kWorkGuard
+  /// trips are pure functions of (graph, options) and may be cached, while
+  /// kDeadline/kCancelled depend on wall-clock timing and must not be.
+  enum class TripCause { kNone, kTableGuard, kWorkGuard, kDeadline,
+                         kCancelled };
+  TripCause trip_cause = TripCause::kNone;
 
   /// Worker threads actually used (DpOptions::num_threads resolved).
   i64 threads_used = 1;

@@ -66,6 +66,22 @@ class Args {
     return it->second;
   }
 
+  /// True when `batch` times every dimension value overflows the headroom
+  /// int64 table sizing needs. The op builders multiply dim extents into
+  /// iteration-space point counts (and the cost model into byte counts), so
+  /// a product past ~2^61 is rejected before any op constructor runs —
+  /// signed overflow downstream would be undefined behaviour, not a
+  /// recoverable error.
+  bool product_overflows(i64 batch) const {
+    i64 prod = batch;
+    for (const auto& kv : values_) {
+      if (kv.first == "spatial" || kv.first == "b") continue;  // b == batch
+      if (__builtin_mul_overflow(prod, kv.second, &prod)) return true;
+      if (prod > (i64{1} << 61)) return true;
+    }
+    return false;
+  }
+
   /// Any keys never consumed (typo detection).
   std::string unused() const {
     for (const auto& kv : values_)
@@ -80,7 +96,8 @@ class Args {
 
 }  // namespace
 
-ModelParseResult parse_model(const std::string& text) {
+ModelParseResult parse_model(const std::string& text,
+                             const ModelParseLimits& limits) {
   ModelParseResult result;
   std::istringstream is(text);
   std::string line;
@@ -118,10 +135,17 @@ ModelParseResult parse_model(const std::string& text) {
       std::string name, op;
       if (!(ls >> name >> op)) return fail("node needs a name and an op");
       if (by_name.count(name)) return fail("duplicate node '" + name + "'");
+      if (limits.max_nodes > 0 &&
+          result.graph.num_nodes() >= limits.max_nodes)
+        return fail("model exceeds the maximum of " +
+                    std::to_string(limits.max_nodes) + " nodes");
       Args args;
       std::string err;
       if (!args.parse(ls, &err)) return fail(err);
       const i64 b = args.get_or("b", batch);
+      if (args.product_overflows(b))
+        return fail("dimension product of node '" + name +
+                    "' overflows 64-bit table sizing");
 
       Node node;
       if (op == "conv2d") {

@@ -36,8 +36,19 @@ struct ModelParseResult {
   Graph graph;
 };
 
+/// Resource limits for parsing untrusted input (the serving daemon's and
+/// pase_cli's admission boundary). Zero means unlimited. Independent of
+/// these, the parser always rejects node lines whose dimension product
+/// (batch included) would overflow the int64 iteration-space/table-sizing
+/// arithmetic downstream — overflowing there is undefined behaviour, so it
+/// must be caught at the trust boundary, not by a guard.
+struct ModelParseLimits {
+  i64 max_nodes = 0;  ///< reject models with more `node` lines than this
+};
+
 /// Parses the format above. The returned graph is validated (connected,
 /// consistent dim maps) on success.
-ModelParseResult parse_model(const std::string& text);
+ModelParseResult parse_model(const std::string& text,
+                             const ModelParseLimits& limits = {});
 
 }  // namespace pase

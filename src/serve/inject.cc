@@ -1,0 +1,110 @@
+#include "serve/inject.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace pase::serve {
+
+namespace {
+
+/// "a:b" or "a" -> doubles. Returns the number of fields parsed (0 on
+/// malformed input).
+int split_fields(const std::string& value, double* a, double* b) {
+  const auto colon = value.find(':');
+  char* end = nullptr;
+  const std::string first =
+      colon == std::string::npos ? value : value.substr(0, colon);
+  *a = std::strtod(first.c_str(), &end);
+  if (first.empty() || *end != '\0') return 0;
+  if (colon == std::string::npos) return 1;
+  const std::string second = value.substr(colon + 1);
+  *b = std::strtod(second.c_str(), &end);
+  if (second.empty() || *end != '\0') return 0;
+  return 2;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Uniform [0, 1) from a hash draw.
+double unit(u64 seed, u64 request_index, u64 clause) {
+  const u64 h = hash_combine(hash_combine(seed, request_index), clause);
+  return static_cast<double>(h >> 11) * 0x1p-53;
+}
+
+}  // namespace
+
+std::string InjectSpec::to_string() const {
+  std::ostringstream os;
+  const char* sep = "";
+  if (slow_rate > 0.0) {
+    os << "slow=" << fmt(slow_rate) << ":" << fmt(slow_seconds);
+    sep = ",";
+  }
+  if (stall_rate > 0.0) {
+    os << sep << "stall=" << fmt(stall_rate) << ":" << fmt(stall_seconds);
+    sep = ",";
+  }
+  if (poison_rate > 0.0) os << sep << "poison=" << fmt(poison_rate);
+  return os.str();
+}
+
+InjectParseResult parse_inject_spec(const std::string& text) {
+  InjectParseResult result;
+  std::stringstream ss(text);
+  std::string clause;
+  while (std::getline(ss, clause, ',')) {
+    if (clause.empty()) continue;
+    const auto eq = clause.find('=');
+    if (eq == std::string::npos) {
+      result.error = "clause '" + clause + "' needs key=value";
+      return result;
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    double a = 0.0, b = 0.0;
+    const int n = split_fields(value, &a, &b);
+    if (key == "slow" || key == "stall") {
+      if (n != 2 || a < 0.0 || a > 1.0 || b < 0.0) {
+        result.error = key + " needs RATE:SECONDS with RATE in [0,1]";
+        return result;
+      }
+      if (key == "slow") {
+        result.spec.slow_rate = a;
+        result.spec.slow_seconds = b;
+      } else {
+        result.spec.stall_rate = a;
+        result.spec.stall_seconds = b;
+      }
+    } else if (key == "poison") {
+      if (n != 1 || a < 0.0 || a > 1.0) {
+        result.error = "poison needs a RATE in [0,1]";
+        return result;
+      }
+      result.spec.poison_rate = a;
+    } else {
+      result.error = "unknown clause '" + key + "'";
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+InjectDraw draw_injections(const InjectSpec& spec, u64 seed,
+                           u64 request_index) {
+  InjectDraw draw;
+  if (spec.empty()) return draw;
+  draw.slow = unit(seed, request_index, 1) < spec.slow_rate;
+  draw.stall = unit(seed, request_index, 2) < spec.stall_rate;
+  draw.poison = unit(seed, request_index, 3) < spec.poison_rate;
+  return draw;
+}
+
+}  // namespace pase::serve

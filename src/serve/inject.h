@@ -1,0 +1,67 @@
+// Seeded fault injection for the serving daemon (pase_serve --inject), in
+// the spirit of src/fault's FaultSpec grammar: a comma-separated spec
+// whose clauses each arm one failure mode, drawn per request from a
+// deterministic seeded stream so every degradation path is testable with
+// exact expectations.
+//
+// Clauses:
+//   slow=RATE:SECONDS    worker sleeps SECONDS before solving; the sleep
+//                        consumes the request's deadline, so a budget
+//                        shorter than the sleep deterministically exercises
+//                        the degraded (beam fallback) path
+//   stall=RATE:SECONDS   worker wedges for SECONDS, honoring only the
+//                        cancellation token (not the deadline) — exactly
+//                        the runaway solve the watchdog exists to kill
+//   poison=RATE          the result-cache entry written by this request is
+//                        corrupted after the store, so the *next* hit
+//                        exercises the verify-on-hit recovery path
+//
+// RATEs are probabilities in [0, 1]. Draws are a pure function of
+// (spec, seed, request index): request k draws u = hash(seed, k, clause)
+// mapped to [0, 1) and arms the clause iff u < RATE — so a replay with the
+// same seed and request order injects identically.
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pase::serve {
+
+struct InjectSpec {
+  double slow_rate = 0.0;
+  double slow_seconds = 0.0;
+  double stall_rate = 0.0;
+  double stall_seconds = 0.0;
+  double poison_rate = 0.0;
+
+  bool empty() const {
+    return slow_rate == 0.0 && stall_rate == 0.0 && poison_rate == 0.0;
+  }
+
+  /// Canonical rendering in the parse grammar.
+  std::string to_string() const;
+};
+
+struct InjectParseResult {
+  bool ok = false;
+  std::string error;  ///< names the offending clause when !ok
+  InjectSpec spec;
+};
+
+/// Parses e.g. "slow=0.3:0.05,stall=0.05:2,poison=0.2". Structured errors,
+/// never aborts.
+InjectParseResult parse_inject_spec(const std::string& text);
+
+/// Faults armed for one request.
+struct InjectDraw {
+  bool slow = false;
+  bool stall = false;
+  bool poison = false;
+};
+
+/// Deterministic per-request draw (see file comment).
+InjectDraw draw_injections(const InjectSpec& spec, u64 seed,
+                           u64 request_index);
+
+}  // namespace pase::serve

@@ -1,0 +1,337 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pase::serve {
+
+Json Json::make_bool(bool b) {
+  Json j;
+  j.kind = Kind::kBool;
+  j.boolean = b;
+  return j;
+}
+
+Json Json::make_number(double n) {
+  Json j;
+  j.kind = Kind::kNumber;
+  j.number = n;
+  return j;
+}
+
+Json Json::make_string(std::string s) {
+  Json j;
+  j.kind = Kind::kString;
+  j.string = std::move(s);
+  return j;
+}
+
+Json Json::make_array() {
+  Json j;
+  j.kind = Kind::kArray;
+  return j;
+}
+
+Json Json::make_object() {
+  Json j;
+  j.kind = Kind::kObject;
+  return j;
+}
+
+const Json* Json::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string Json::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const Json* v = get(key);
+  return v && v->is_string() ? v->string : fallback;
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  const Json* v = get(key);
+  return v && v->is_number() ? v->number : fallback;
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  const Json* v = get(key);
+  return v && v->kind == Kind::kBool ? v->boolean : fallback;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool run(Json& out, std::string* error) {
+    if (!parse_value(out, 0)) {
+      fill_error(error);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing garbage";
+      fill_error(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void fill_error(std::string* error) const {
+    if (error)
+      *error = "byte " + std::to_string(pos_) + ": " +
+               (reason_.empty() ? "malformed JSON" : reason_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      reason_ = "expected string";
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Only the \u00XX subrange the writer emits (control chars).
+            if (pos_ + 4 > text_.size()) {
+              reason_ = "truncated \\u escape";
+              return false;
+            }
+            char* end = nullptr;
+            const std::string hex = text_.substr(pos_, 4);
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4 || code > 0xff) {
+              reason_ = "unsupported \\u escape '" + hex + "'";
+              return false;
+            }
+            out += static_cast<char>(code);
+            pos_ += 4;
+            break;
+          }
+          default:
+            reason_ = std::string("bad escape '\\") + e + "'";
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) {
+      reason_ = "nesting deeper than " + std::to_string(kMaxDepth);
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      reason_ = "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out.kind = Json::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out = Json::make_bool(true);
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out = Json::make_bool(false);
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out = Json::make_null();
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_ || !std::isfinite(v)) {
+      reason_ = "expected a value";
+      return false;
+    }
+    out = Json::make_number(v);
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  bool parse_array(Json& out, int depth) {
+    consume('[');
+    out.kind = Json::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      Json elem;
+      if (!parse_value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      if (consume(']')) return true;
+      if (!consume(',')) {
+        reason_ = "expected ',' or ']'";
+        return false;
+      }
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    consume('{');
+    out.kind = Json::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) {
+        reason_ = "expected ':' after key '" + key + "'";
+        return false;
+      }
+      Json val;
+      if (!parse_value(val, depth + 1)) return false;
+      // Last duplicate key wins, like most JSON decoders.
+      out.object[std::move(key)] = std::move(val);
+      if (consume('}')) return true;
+      if (!consume(',')) {
+        reason_ = "expected ',' or '}'";
+        return false;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string reason_;
+};
+
+void write_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_value(const Json& v, std::string& out) {
+  switch (v.kind) {
+    case Json::Kind::kNull:
+      out += "null";
+      break;
+    case Json::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case Json::Kind::kNumber: {
+      char buf[40];
+      // Integral doubles render without an exponent or trailing zeros so
+      // counts stay readable and byte-stable; %.17g round-trips the rest.
+      if (v.number == std::floor(v.number) &&
+          std::abs(v.number) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v.number));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      }
+      out += buf;
+      break;
+    }
+    case Json::Kind::kString:
+      write_escaped(v.string, out);
+      break;
+    case Json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        write_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& kv : v.object) {
+        if (!first) out += ',';
+        first = false;
+        write_escaped(kv.first, out);
+        out += ':';
+        write_value(kv.second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Json> parse_json(const std::string& text, std::string* error) {
+  Json v;
+  Parser p(text);
+  if (!p.run(v, error)) return std::nullopt;
+  return v;
+}
+
+std::string write_json(const Json& v) {
+  std::string out;
+  write_value(v, out);
+  return out;
+}
+
+}  // namespace pase::serve

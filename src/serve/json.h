@@ -1,0 +1,70 @@
+// Minimal JSON value type with a hardened parser and a canonical writer,
+// for the strategy-serving daemon's line-delimited protocol (src/serve).
+//
+// This is the first place the system *reads* JSON from an untrusted peer
+// (the observability emitters in src/obs only write), so the parser is
+// built for adversarial input: a recursion-depth cap, strict trailing-
+// garbage rejection, and structured errors with byte offsets instead of
+// aborts. The grammar matches tests/mini_json.h (full JSON minus \uXXXX
+// escapes, numbers held as double) so tests can cross-check both sides.
+//
+// The writer emits objects with keys in std::map order (sorted), no
+// whitespace, and shortest-round-trip doubles rendered as integers when
+// integral — a byte-stable canonical form, so "same response" can be
+// asserted with a string compare.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pase::serve {
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  // std::map keeps writer output canonically ordered.
+  std::map<std::string, Json> object;
+
+  Json() = default;
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool b);
+  static Json make_number(double n);
+  static Json make_string(std::string s);
+  static Json make_array();
+  static Json make_object();
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member access; nullptr when absent or not an object.
+  const Json* get(const std::string& key) const;
+
+  /// Typed member reads with defaults (absent or wrong-typed -> fallback).
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_number(const std::string& key, double fallback = 0.0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+};
+
+/// Parses one JSON document. On failure returns nullopt and, when `error`
+/// is non-null, fills it with "byte N: reason". Rejects trailing garbage
+/// and nesting deeper than 64 levels (stack-exhaustion guard — protocol
+/// messages are flat objects; anything deeper is hostile or broken).
+std::optional<Json> parse_json(const std::string& text,
+                               std::string* error = nullptr);
+
+/// Canonical single-line rendering (sorted keys, no whitespace, \uXXXX
+/// escapes for control characters so the output never contains a newline).
+std::string write_json(const Json& v);
+
+}  // namespace pase::serve

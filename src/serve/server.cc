@@ -1,0 +1,582 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include "comm/comm_model.h"
+#include "core/dp_solver.h"
+#include "cost/cost_cache.h"
+#include "cost/cost_model.h"
+#include "cost/machine.h"
+#include "io/model_parser.h"
+#include "io/strategy_io.h"
+#include "models/models.h"
+#include "sim/memory.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace pase::serve {
+
+namespace {
+
+/// Bound on distinct (graph, machine) cost caches / comm models kept warm;
+/// past it the memos are dropped wholesale and simply warm up again (the
+/// result cache has real LRU — these are cheap to rebuild by comparison).
+constexpr size_t kMaxWarmMemos = 64;
+
+std::optional<Graph> build_zoo_graph(const std::string& name) {
+  if (name == "alexnet") return models::alexnet();
+  if (name == "inception_v3") return models::inception_v3();
+  if (name == "rnnlm") return models::rnnlm();
+  if (name == "transformer") return models::transformer();
+  if (name == "densenet") return models::densenet();
+  if (name == "resnet50") return models::resnet50();
+  if (name == "vgg16") return models::vgg16();
+  if (name == "mobilenet_v1") return models::mobilenet_v1();
+  if (name == "gnmt") return models::gnmt();
+  // Small FC chain: the cheap query tests and warm-up probes use this.
+  if (name == "mlp") return models::mlp(32, {256, 256, 128, 64});
+  return std::nullopt;
+}
+
+std::optional<MachineSpec> build_machine(const std::string& name,
+                                         i64 devices) {
+  if (name == "1080ti") return MachineSpec::gtx1080ti(devices);
+  if (name == "2080ti") return MachineSpec::rtx2080ti(devices);
+  if (name == "mixed") return MachineSpec::mixed_cluster(devices);
+  return std::nullopt;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+/// One in-flight solve, shared by duplicate requests (single-flight
+/// deduplication): the first caller (the leader) runs the solve; callers
+/// holding the same key while it runs wait on the same future instead of
+/// burning a second admission slot on identical work.
+struct ServeCore::Flight {
+  std::shared_future<SolveOutcome> future;
+};
+
+ServeCore::ServeCore(ServeOptions options)
+    : options_(std::move(options)),
+      results_(options_.cache_entries),
+      pool_(options_.workers < 1 ? 1 : options_.workers) {
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+ServeCore::~ServeCore() {
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    watchdog_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  watchdog_.join();
+}
+
+void ServeCore::watchdog_main() {
+  std::unique_lock<std::mutex> lk(watch_mu_);
+  while (!watchdog_stop_) {
+    watch_cv_.wait_for(lk, std::chrono::milliseconds(10));
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& w : watches_) {
+      if (now >= w->kill_at && !w->killed.load(std::memory_order_relaxed)) {
+        w->killed.store(true, std::memory_order_relaxed);
+        w->cancel.store(true, std::memory_order_relaxed);
+        watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.add_counter("serve.watchdog.kills", 1);
+      }
+    }
+  }
+}
+
+std::shared_ptr<CostCache> ServeCore::cost_cache_for(const ResultKey& key,
+                                                     const Graph& graph) {
+  // Cost values depend on (graph structure, machine, devices, comm model)
+  // but not on the memory cap or beam width.
+  u64 h = key.graph_sig;
+  for (const char c : key.machine) h = hash_combine(h, static_cast<u8>(c));
+  h = hash_combine(h, static_cast<u64>(key.devices));
+  for (const char c : key.comm_model)
+    h = hash_combine(h, static_cast<u8>(c));
+  std::lock_guard<std::mutex> lk(caches_mu_);
+  auto it = cost_caches_.find(h);
+  if (it != cost_caches_.end()) return it->second;
+  if (cost_caches_.size() >= kMaxWarmMemos) cost_caches_.clear();
+  auto cache = std::make_shared<CostCache>(graph);
+  cost_caches_[h] = cache;
+  return cache;
+}
+
+std::shared_ptr<const CommModel> ServeCore::comm_model_for(
+    const ServeRequest& request) {
+  u64 h = 0x9e3779b97f4a7c15ull;
+  for (const char c : request.machine) h = hash_combine(h, static_cast<u8>(c));
+  h = hash_combine(h, static_cast<u64>(request.devices));
+  for (const char c : request.comm_model)
+    h = hash_combine(h, static_cast<u8>(c));
+  std::lock_guard<std::mutex> lk(caches_mu_);
+  auto it = comm_models_.find(h);
+  if (it != comm_models_.end()) return it->second;
+  if (comm_models_.size() >= kMaxWarmMemos) comm_models_.clear();
+  const auto machine = build_machine(request.machine, request.devices);
+  const auto kind = parse_comm_model_kind(request.comm_model);
+  auto model = std::make_shared<const CommModel>(*machine, *kind);
+  comm_models_[h] = model;
+  return model;
+}
+
+std::string ServeCore::handle_line(const std::string& line) {
+  metrics_.add_counter("serve.requests", 1);
+  const RequestParseResult parsed = parse_request(line);
+  if (!parsed.ok) {
+    metrics_.add_counter("serve.responses.malformed", 1);
+    ServeResponse resp;
+    resp.code = ResponseCode::kMalformed;
+    resp.reason = parsed.error;
+    return resp.to_line();
+  }
+  const ServeRequest& req = parsed.request;
+
+  ServeResponse resp;
+  resp.id = req.id;
+  switch (req.op) {
+    case ServeRequest::Op::kPing:
+      metrics_.add_counter("serve.responses.ok", 1);
+      return resp.to_line();
+    case ServeRequest::Op::kMetrics:
+      metrics_.set_gauge("serve.inflight",
+                         static_cast<double>(
+                             inflight_.load(std::memory_order_relaxed)));
+      resp.metrics_json = metrics_.to_json();
+      metrics_.add_counter("serve.responses.ok", 1);
+      return resp.to_line();
+    case ServeRequest::Op::kShutdown:
+      shutdown_.store(true, std::memory_order_release);
+      metrics_.add_counter("serve.responses.ok", 1);
+      return resp.to_line();
+    case ServeRequest::Op::kSolve:
+      break;
+  }
+  resp = handle_solve(req);
+  resp.id = req.id;
+  metrics_.add_counter(
+      std::string("serve.responses.") + response_code_name(resp.code), 1);
+  return resp.to_line();
+}
+
+ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
+  const auto accepted = std::chrono::steady_clock::now();
+  ServeResponse resp;
+  auto finish = [&](ServeResponse& r) -> ServeResponse& {
+    r.elapsed_ms = ms_since(accepted);
+    return r;
+  };
+
+  // Build the request graph (zoo by name, or inline text through the
+  // hardened parser — this is the service's untrusted-input boundary).
+  Graph graph;
+  if (!req.zoo.empty()) {
+    auto built = build_zoo_graph(req.zoo);
+    if (!built) {
+      resp.code = ResponseCode::kMalformed;
+      resp.reason = "unknown zoo model '" + req.zoo + "'";
+      return finish(resp);
+    }
+    graph = std::move(*built);
+  } else {
+    ModelParseLimits limits;
+    limits.max_nodes = options_.max_model_nodes;
+    ModelParseResult model = parse_model(req.model_text, limits);
+    if (!model.ok) {
+      resp.code = ResponseCode::kMalformed;
+      resp.reason = "model: " + model.error;
+      return finish(resp);
+    }
+    graph = std::move(model.graph);
+  }
+  if (!build_machine(req.machine, req.devices)) {
+    resp.code = ResponseCode::kMalformed;
+    resp.reason = "unknown machine '" + req.machine + "'";
+    return finish(resp);
+  }
+  if (!parse_comm_model_kind(req.comm_model)) {
+    resp.code = ResponseCode::kMalformed;
+    resp.reason = "unknown comm model '" + req.comm_model + "'";
+    return finish(resp);
+  }
+
+  ResultKey key;
+  key.graph_sig = graph_signature(graph);
+  key.machine = req.machine;
+  key.devices = req.devices;
+  key.memory_gb = req.memory_gb;
+  key.comm_model = req.comm_model;
+  key.beam_width = req.beam_width;
+  const u64 khash = key.hash();
+
+  const u64 request_index =
+      request_counter_.fetch_add(1, std::memory_order_relaxed);
+  const InjectDraw draw =
+      draw_injections(options_.inject, options_.seed, request_index);
+
+  // Warm path: result-cache hit, verified before trust (see
+  // result_cache.h). A poisoned entry is detected here, dropped, and the
+  // request falls through to a fresh solve.
+  ResultCache::Entry entry;
+  bool poisoned = false;
+  if (results_.lookup(khash, &entry)) {
+    bool verified = true;
+    if (!entry.strategy.empty()) {
+      CostParams params = CostParams::for_machine(
+          *build_machine(req.machine, req.devices),
+          *parse_comm_model_kind(req.comm_model));
+      if (params.comm) params.comm = comm_model_for(req);
+      CostModel cost(graph, params);
+      auto shared_cache = cost_cache_for(key, graph);
+      cost.attach_cache(shared_cache.get());
+      verified = cost.total_cost(entry.strategy) == entry.check_cost;
+    }
+    if (verified) {
+      metrics_.add_counter("serve.cache.hits", 1);
+      resp.cache = "hit";
+      switch (entry.status) {
+        case DpStatus::kOk: resp.code = ResponseCode::kOk; break;
+        case DpStatus::kDegraded: resp.code = ResponseCode::kDegraded; break;
+        case DpStatus::kInfeasible:
+          resp.code = ResponseCode::kInfeasible;
+          resp.reason = "no configuration satisfies the memory cap";
+          break;
+        case DpStatus::kOutOfMemory:
+          resp.code = ResponseCode::kError;
+          resp.reason = entry.guard_reason;
+          break;
+      }
+      if (!entry.strategy.empty()) {
+        resp.cost = entry.best_cost;
+        resp.strategy = write_strategy(graph, entry.strategy);
+        if (entry.status == DpStatus::kDegraded)
+          resp.reason = entry.guard_reason;
+      }
+      return finish(resp);
+    }
+    metrics_.add_counter("serve.cache.poison_detected", 1);
+    results_.erase(khash);
+    poisoned = true;
+  }
+  metrics_.add_counter("serve.cache.misses", 1);
+
+  // Admission control: bounded concurrent solves, explicit shedding.
+  // Duplicate in-flight requests join the leader instead of taking a slot.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lk(flight_mu_);
+    auto it = flights_.find(khash);
+    if (it != flights_.end()) {
+      flight = it->second;
+      metrics_.add_counter("serve.dedup.joined", 1);
+    } else {
+      if (inflight_.load(std::memory_order_relaxed) >=
+          options_.queue_depth) {
+        resp.code = ResponseCode::kShed;
+        resp.reason = "queue at capacity (" +
+                      std::to_string(options_.queue_depth) +
+                      " solves in flight); retry with backoff";
+        return finish(resp);
+      }
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+      leader = true;
+      double deadline_ms = req.deadline_ms > 0.0 ? req.deadline_ms
+                                                 : options_.default_deadline_ms;
+      if (options_.max_deadline_ms > 0.0 &&
+          deadline_ms > options_.max_deadline_ms)
+        deadline_ms = options_.max_deadline_ms;
+      flight = std::make_shared<Flight>();
+      auto task = std::make_shared<std::packaged_task<SolveOutcome()>>(
+          [this, req, graph = std::move(graph), key, accepted, deadline_ms,
+           draw]() mutable {
+            SolveOutcome out =
+                run_solve(req, graph, key, accepted, deadline_ms, draw);
+            inflight_.fetch_sub(1, std::memory_order_relaxed);
+            return out;
+          });
+      flight->future = task->get_future().share();
+      flights_[khash] = flight;
+      pool_.submit([task] { (*task)(); });
+    }
+  }
+
+  const SolveOutcome out = flight->future.get();
+  if (leader) {
+    std::lock_guard<std::mutex> lk(flight_mu_);
+    auto it = flights_.find(khash);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+
+  resp.code = out.code;
+  resp.reason = out.reason;
+  resp.cache = poisoned ? "poisoned" : "miss";
+  if (!out.strategy.empty()) {
+    resp.cost = out.cost;
+    // The leader moved its graph into the solve; joiners still hold
+    // theirs. Rebuild for rendering when needed.
+    if (graph.num_nodes() == 0) {
+      if (!req.zoo.empty()) graph = *build_zoo_graph(req.zoo);
+      else graph = parse_model(req.model_text).graph;
+    }
+    resp.strategy = write_strategy(graph, out.strategy);
+  }
+  return finish(resp);
+}
+
+ServeCore::SolveOutcome ServeCore::run_solve(
+    const ServeRequest& req, const Graph& graph, const ResultKey& key,
+    std::chrono::steady_clock::time_point accepted, double deadline_ms,
+    const InjectDraw& draw) {
+  SolveOutcome out;
+
+  auto watch = std::make_shared<Watch>();
+  watch->kill_at = accepted +
+                   std::chrono::microseconds(static_cast<i64>(
+                       (deadline_ms + options_.watchdog_grace_ms) * 1e3));
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    watches_.push_back(watch);
+  }
+  auto unregister = [&] {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    for (size_t i = 0; i < watches_.size(); ++i)
+      if (watches_[i] == watch) {
+        watches_.erase(watches_.begin() + static_cast<long>(i));
+        break;
+      }
+  };
+
+  // Fault injection (deterministic per request; see inject.h).
+  if (draw.slow) {
+    metrics_.add_counter("serve.inject.slow", 1);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.inject.slow_seconds));
+  }
+  if (draw.stall) {
+    // A wedged worker: ignores its deadline, yields only to the
+    // cancellation token — the watchdog's job.
+    metrics_.add_counter("serve.inject.stall", 1);
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.inject.stall_seconds));
+    while (std::chrono::steady_clock::now() < until &&
+           !watch->cancel.load(std::memory_order_relaxed))
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (watch->cancel.load(std::memory_order_relaxed)) {
+    unregister();
+    out.code = ResponseCode::kError;
+    out.reason = "solve killed by watchdog after " +
+                 std::to_string(static_cast<i64>(ms_since(accepted))) + "ms";
+    return out;
+  }
+
+  DpOptions options;
+  options.config_options.max_devices = req.devices;
+  const MachineSpec machine = *build_machine(req.machine, req.devices);
+  const CommModelKind comm_kind = *parse_comm_model_kind(req.comm_model);
+  options.cost_params = CostParams::for_machine(machine, comm_kind);
+  if (options.cost_params.comm)
+    options.cost_params.comm = comm_model_for(req);  // warm memo
+  if (req.memory_gb > 0)
+    options.config_options.filter = memory_config_filter(req.memory_gb * 1e9);
+  // Whatever the queue and injected sleeps consumed already counts against
+  // the request's budget; a spent budget degrades immediately (the beam
+  // fallback is bounded work), it does not error.
+  const double remaining_s = (deadline_ms - ms_since(accepted)) / 1e3;
+  options.deadline_seconds = remaining_s > 1e-9 ? remaining_s : 1e-9;
+  options.cancel = &watch->cancel;
+  options.degraded_fallback = true;
+  options.beam_width = req.beam_width;
+  options.num_threads = options_.solver_threads;
+  auto shared_cache = cost_cache_for(key, graph);
+  options.shared_cost_cache = shared_cache.get();
+  options.metrics = &metrics_;
+
+  const DpResult result = find_best_strategy(graph, options);
+  unregister();
+
+  switch (result.status) {
+    case DpStatus::kOk: out.code = ResponseCode::kOk; break;
+    case DpStatus::kDegraded:
+      out.code = ResponseCode::kDegraded;
+      out.reason = result.guard_reason;
+      break;
+    case DpStatus::kInfeasible:
+      out.code = ResponseCode::kInfeasible;
+      out.reason = "no configuration satisfies the memory cap";
+      break;
+    case DpStatus::kOutOfMemory:
+      // With the fallback enabled this is reachable only through
+      // cancellation (the fallback itself honors the token).
+      out.code = ResponseCode::kError;
+      out.reason = watch->killed.load(std::memory_order_relaxed)
+                       ? "solve killed by watchdog: " + result.guard_reason
+                       : result.guard_reason;
+      return out;
+  }
+  out.cost = result.best_cost;
+  out.strategy = result.strategy;
+
+  if (ResultCache::cacheable(result.status, result.trip_cause)) {
+    ResultCache::Entry entry;
+    entry.status = result.status;
+    entry.trip_cause = result.trip_cause;
+    entry.best_cost = result.best_cost;
+    entry.strategy = result.strategy;
+    entry.guard_reason = result.guard_reason;
+    if (!entry.strategy.empty()) {
+      // check_cost is the exact value verify-on-hit will recompute: the
+      // pure Eq. (1) re-evaluation, not the DP's table sum (they can
+      // differ in floating-point association).
+      CostModel cost(graph, options.cost_params);
+      cost.attach_cache(shared_cache.get());
+      entry.check_cost = cost.total_cost(entry.strategy);
+    }
+    const u64 khash = key.hash();
+    results_.store(khash, std::move(entry));
+    if (draw.poison) {
+      metrics_.add_counter("serve.inject.poison", 1);
+      results_.corrupt(khash);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SocketServer
+
+SocketServer::SocketServer(ServeCore& core, std::string socket_path)
+    : core_(core), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+bool SocketServer::listen(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + path_;
+    return false;
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(path_.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error) *error = "bind " + path_ + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::run() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !core_.shutdown_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+  // Wake blocked reads so connection threads can exit, then join them.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      if (conn_threads_.empty()) break;
+      t = std::move(conn_threads_.back());
+      conn_threads_.pop_back();
+    }
+    t.join();
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool overlong = false;
+  for (;;) {
+    const auto nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response;
+      if (overlong) {
+        ServeResponse resp;
+        resp.code = ResponseCode::kMalformed;
+        resp.reason = "request line exceeds " +
+                      std::to_string(core_.options().max_line_bytes) +
+                      " bytes";
+        response = resp.to_line();
+        core_.metrics().add_counter("serve.responses.malformed", 1);
+        overlong = false;
+      } else {
+        response = core_.handle_line(line);
+      }
+      response += '\n';
+      size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t n = ::send(fd, response.data() + off,
+                                 response.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        off += static_cast<size_t>(n);
+      }
+      if (core_.shutdown_requested()) break;
+      continue;
+    }
+    if (static_cast<i64>(buffer.size()) > core_.options().max_line_bytes) {
+      // Keep draining to the newline but remember to reject the line:
+      // an explicit malformed response, not a silent close.
+      overlong = true;
+      buffer.clear();
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+}
+
+}  // namespace pase::serve

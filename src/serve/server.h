@@ -1,0 +1,174 @@
+// The resilient strategy-serving daemon (ROADMAP item 1: the solver as a
+// long-running service). Two layers:
+//
+//  * ServeCore — transport-independent request handling: parse, admission
+//    control, single-flight deduplication, the warm caches, deadline
+//    propagation, the watchdog, fault injection, and serve.* metrics. One
+//    handle_line() call per protocol line; safe from any number of
+//    threads. Tests drive this layer directly, no sockets involved.
+//  * SocketServer — a Unix-domain-socket front end: accept loop, one
+//    thread per connection, line framing with an input-size guard.
+//
+// Robustness invariants (DESIGN.md §10):
+//  * Every request gets exactly one classified response: ok, degraded,
+//    shed, malformed, infeasible or error — never a silent drop, never an
+//    uncontrolled crash.
+//  * Admission control: at most --queue-depth solves are admitted
+//    (running or queued); beyond that, requests are shed immediately with
+//    an explicit `shed` response the client can back off on.
+//  * Deadlines: every solve carries a wall-clock budget that propagates
+//    into DpOptions (including the amortized in-loop checks), so a
+//    timed-out request returns a *degraded but valid* strategy. A
+//    watchdog thread additionally cancels solves that overrun budget +
+//    grace (e.g. an injected worker stall) via the solver's cancellation
+//    token; a killed solve answers `error`.
+//  * Warm state: a (graph signature, machine, p, ...) -> result LRU, a
+//    shared CostCache per graph/machine pair, and a CommModel memo
+//    survive across requests. Cached results are verified on every hit
+//    (see result_cache.h) and only timing-independent results are stored,
+//    so a cache hit is byte-identical to a fresh solve.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/inject.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "util/thread_pool.h"
+
+namespace pase {
+class CostCache;
+class CommModel;
+}  // namespace pase
+
+namespace pase::serve {
+
+struct ServeOptions {
+  i64 workers = 2;          ///< concurrent solves (ThreadPool size)
+  i64 solver_threads = 1;   ///< DP threads within one solve
+  i64 queue_depth = 8;      ///< max admitted solves before shedding
+  double default_deadline_ms = 2000.0;  ///< when the request sends none
+  double max_deadline_ms = 30000.0;     ///< clamp for request deadlines
+  double watchdog_grace_ms = 500.0;     ///< kill at deadline + grace
+  i64 cache_entries = 128;              ///< result-cache capacity
+  i64 max_model_nodes = 512;            ///< parser limit for inline models
+  i64 max_line_bytes = i64{1} << 20;    ///< protocol input-size guard
+  InjectSpec inject;                    ///< fault injection (off if empty)
+  u64 seed = 1;                         ///< injection draw seed
+};
+
+class ServeCore {
+ public:
+  explicit ServeCore(ServeOptions options);
+  ~ServeCore();
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  /// Handles one protocol line end to end and returns the response line
+  /// (no trailing newline). Blocking: a solve returns when it completes,
+  /// is shed, or is killed. Thread-safe.
+  std::string handle_line(const std::string& line);
+
+  /// True once a shutdown request has been handled.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Solves the watchdog had to kill (healthy runs must report zero).
+  u64 watchdog_kills() const {
+    return watchdog_kills_.load(std::memory_order_relaxed);
+  }
+
+  const ServeOptions& options() const { return options_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  /// Outcome of one solve, shared between duplicate in-flight requests.
+  struct SolveOutcome {
+    ResponseCode code = ResponseCode::kError;
+    double cost = 0.0;
+    Strategy strategy;
+    std::string reason;
+  };
+  struct Flight;
+
+  /// Watchdog registration for one running solve.
+  struct Watch {
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> killed{false};
+    std::chrono::steady_clock::time_point kill_at;
+  };
+
+  ServeResponse handle_solve(const ServeRequest& request);
+  SolveOutcome run_solve(const ServeRequest& request, const Graph& graph,
+                         const ResultKey& key,
+                         std::chrono::steady_clock::time_point accepted,
+                         double deadline_ms, const InjectDraw& draw);
+  std::shared_ptr<CostCache> cost_cache_for(const ResultKey& key,
+                                            const Graph& graph);
+  std::shared_ptr<const CommModel> comm_model_for(const ServeRequest& request);
+  void watchdog_main();
+
+  ServeOptions options_;
+  MetricsRegistry metrics_;
+  ResultCache results_;
+  ThreadPool pool_;
+
+  std::mutex caches_mu_;
+  std::unordered_map<u64, std::shared_ptr<CostCache>> cost_caches_;
+  std::unordered_map<u64, std::shared_ptr<const CommModel>> comm_models_;
+
+  std::mutex flight_mu_;
+  std::unordered_map<u64, std::shared_ptr<Flight>> flights_;
+
+  std::mutex watch_mu_;
+  std::vector<std::shared_ptr<Watch>> watches_;
+  std::condition_variable watch_cv_;
+  std::thread watchdog_;
+  bool watchdog_stop_ = false;
+
+  std::atomic<i64> inflight_{0};
+  std::atomic<u64> request_counter_{0};
+  std::atomic<u64> watchdog_kills_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Unix-domain-socket front end. Lifecycle: construct, listen(), run()
+/// (blocks until a shutdown request arrives or stop() is called from a
+/// signal handler's thread), destructor cleans up the socket file.
+class SocketServer {
+ public:
+  SocketServer(ServeCore& core, std::string socket_path);
+  ~SocketServer();
+
+  /// Binds and listens. False (with reason) on failure.
+  bool listen(std::string* error);
+  /// Accept loop; returns after shutdown. Spawns one thread per
+  /// connection; all are joined before returning.
+  void run();
+  /// Async-signal-safe-ish stop: flips a flag the accept loop polls.
+  void stop() { stop_.store(true, std::memory_order_release); }
+
+ private:
+  void serve_connection(int fd);
+
+  ServeCore& core_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace pase::serve

@@ -124,7 +124,8 @@ void ThreadPool::worker_main(i64 slot) {
 }
 
 void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
-                              const std::function<void(i64, i64)>& body) {
+                              const std::function<void(i64, i64)>& body,
+                              const std::atomic<bool>* cancel) {
   if (end <= begin) return;
   grain = std::max<i64>(1, grain);
   const i64 span = end - begin;
@@ -139,14 +140,16 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
   };
   auto shared = std::make_shared<Shared>();
 
-  auto drain = [shared, begin, end, grain, nchunks, &body] {
+  auto drain = [shared, begin, end, grain, nchunks, &body, cancel] {
     for (;;) {
       const i64 c = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) return;
       const i64 b0 = begin + c * grain;
       const i64 b1 = std::min(end, b0 + grain);
       try {
-        body(b0, b1);
+        // Cancelled loops skip chunks not yet started; the caller is
+        // responsible for discarding the (partial) result.
+        if (!cancel || !cancel->load(std::memory_order_relaxed)) body(b0, b1);
       } catch (...) {
         // Every chunk runs to completion; the *lowest* failing chunk wins,
         // so the propagated exception is scheduling-independent.

@@ -74,8 +74,16 @@ class ThreadPool {
   /// chunk may be short). The calling thread participates. Blocks until all
   /// chunks have run; rethrows the lowest-chunk exception if any body threw
   /// (remaining chunks are skipped once a failure is recorded).
+  ///
+  /// `cancel` makes the loop cooperatively cancellable: when non-null and
+  /// set, chunks not yet started are skipped (already-running bodies finish
+  /// or observe the token themselves). Cancellation only ever *abandons*
+  /// work, so a caller that checks the token after the call (as the DP
+  /// solver's deadline/watchdog path does) keeps determinism: either the
+  /// loop completed every chunk, or the caller discards the whole result.
   void parallel_for(i64 begin, i64 end, i64 grain,
-                    const std::function<void(i64, i64)>& body);
+                    const std::function<void(i64, i64)>& body,
+                    const std::atomic<bool>* cancel = nullptr);
 
   /// Waits for `fut` while helping execute pending pool work, so a task may
   /// submit subtasks and wait on them without deadlocking even on a

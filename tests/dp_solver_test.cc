@@ -287,6 +287,64 @@ TEST(DpSolver, DeadlineWithoutFallbackFailsWithReason) {
   const DpResult r = find_best_strategy(g, opt);
   EXPECT_EQ(r.status, DpStatus::kOutOfMemory);
   EXPECT_NE(r.guard_reason.find("deadline"), std::string::npos);
+  EXPECT_EQ(r.trip_cause, DpResult::TripCause::kDeadline);
+}
+
+TEST(DpSolver, DeadlineHonoredInsideSingleLargeVertex) {
+  // Granularity regression: with the guards lifted, InceptionV3 at p = 64
+  // spends its time *inside* individual vertices (large substrategy tables
+  // x large config sets), so a solver that only checked the deadline
+  // between vertices would overrun a tight budget by orders of magnitude.
+  // The amortized in-loop checks must trip it promptly mid-vertex.
+  const Graph g = models::inception_v3();
+  auto opt = options_for(64);
+  opt.max_table_entries = u64{1} << 40;  // don't let the guards fire first
+  opt.max_combinations = u64{1} << 50;
+  opt.deadline_seconds = 0.05;
+  opt.degraded_fallback = true;
+  opt.beam_width = 32;
+  const DpResult r = find_best_strategy(g, opt);
+  ASSERT_EQ(r.status, DpStatus::kDegraded) << r.guard_reason;
+  EXPECT_EQ(r.trip_cause, DpResult::TripCause::kDeadline);
+  EXPECT_NE(r.guard_reason.find("deadline"), std::string::npos);
+  // "Promptly": the full solve takes minutes; the in-loop checks bound the
+  // overrun to a few thousand combinations plus the beam fallback.
+  EXPECT_LT(r.elapsed_seconds, 10.0);
+  EXPECT_TRUE(strategy_valid(g, r.strategy, opt.config_options));
+}
+
+TEST(DpSolver, PreSetCancelTokenAbortsWithCancelledCause) {
+  const Graph g = models::alexnet();
+  std::atomic<bool> cancel{true};  // cancelled before the solve starts
+  auto opt = options_for(8);
+  opt.cancel = &cancel;
+  const DpResult r = find_best_strategy(g, opt);
+  EXPECT_EQ(r.status, DpStatus::kOutOfMemory);
+  EXPECT_EQ(r.trip_cause, DpResult::TripCause::kCancelled);
+  EXPECT_NE(r.guard_reason.find("cancelled"), std::string::npos);
+
+  // Cancellation beats the fallback too: the beam search honors the token,
+  // so no strategy comes back even in degraded mode.
+  opt.degraded_fallback = true;
+  const DpResult rf = find_best_strategy(g, opt);
+  EXPECT_EQ(rf.status, DpStatus::kOutOfMemory);
+  EXPECT_EQ(rf.trip_cause, DpResult::TripCause::kCancelled);
+  EXPECT_TRUE(rf.strategy.empty());
+}
+
+TEST(DpSolver, GuardTripsReportStructuralCauses) {
+  const Graph g = models::inception_v3();
+  auto opt = options_for(8);
+  opt.max_table_entries = 4;  // absurdly small: first big vertex trips it
+  const DpResult table = find_best_strategy(g, opt);
+  EXPECT_EQ(table.status, DpStatus::kOutOfMemory);
+  EXPECT_EQ(table.trip_cause, DpResult::TripCause::kTableGuard);
+
+  opt = options_for(8);
+  opt.max_combinations = 4;
+  const DpResult work = find_best_strategy(g, opt);
+  EXPECT_EQ(work.status, DpStatus::kOutOfMemory);
+  EXPECT_EQ(work.trip_cause, DpResult::TripCause::kWorkGuard);
 }
 
 TEST(DpSolver, InfeasibleBeatsFallback) {

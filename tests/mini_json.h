@@ -1,8 +1,9 @@
 // Minimal in-tree JSON reader for tests that need to *parse back* the
 // files the system emits (Chrome traces, metrics snapshots) instead of
-// merely grepping them. Test-only on purpose: the production side writes
-// JSON through fixed byte-stable emitters (src/obs) and never reads it, so
-// a parser in src/ would be dead weight.
+// merely grepping them. Kept test-only and independent of the production
+// parser on purpose: src/serve has its own hardened reader for the serving
+// protocol, and serve_test.cc cross-checks the two implementations against
+// each other — sharing one parser would make that check vacuous.
 //
 // Supports the full JSON value grammar with the common one-character
 // string escapes (no \uXXXX — nothing in-tree emits them). Numbers are

@@ -187,5 +187,41 @@ TEST(ModelParser, CommentsAndBlankLinesIgnored) {
   EXPECT_TRUE(r.ok) << r.error;
 }
 
+TEST(ModelParser, RejectsOverflowingDimensionProducts) {
+  // 2^31 x 2^31 = 2^62 overflows the downstream int64 iteration-space and
+  // table-sizing arithmetic; the trust boundary must reject it regardless
+  // of any configured limits.
+  const auto r = parse_model(
+      "pase-model v1\nnode big fc n=2147483648 c=2147483648\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("overflow"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("big"), std::string::npos) << r.error;
+
+  // The batch multiplies in too: each dim fits, the product does not.
+  const auto rb = parse_model(
+      "pase-model v1\nbatch 1048576\nnode a fc n=1048576 c=4194304\n");
+  EXPECT_FALSE(rb.ok);
+  EXPECT_NE(rb.error.find("overflow"), std::string::npos) << rb.error;
+
+  // Large-but-safe products still parse (just under the 2^61 threshold).
+  EXPECT_TRUE(
+      parse_model("pase-model v1\nnode a fc n=1073741824 c=1048576\n").ok);
+}
+
+TEST(ModelParser, EnforcesConfigurableNodeLimit) {
+  ModelParseLimits limits;
+  limits.max_nodes = 2;
+  const auto r = parse_model(kTinyModel, limits);  // 3 nodes
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("maximum of 2 nodes"), std::string::npos)
+      << r.error;
+
+  limits.max_nodes = 3;
+  EXPECT_TRUE(parse_model(kTinyModel, limits).ok);
+  // Zero means unlimited (the default).
+  limits.max_nodes = 0;
+  EXPECT_TRUE(parse_model(kTinyModel, limits).ok);
+}
+
 }  // namespace
 }  // namespace pase

@@ -63,6 +63,12 @@ for f in dup_key nonpositive_dim negative_dim unknown_op bad_edge \
 done
 expect 3 "infeasible model" -- \
   "$ROOT/tests/corpus/infeasible.pase" --devices 4 --memory-gb 1
+expect 1 "corpus overflow_dims" -- \
+  "$ROOT/tests/corpus/overflow_dims.pase" --devices 4
+expect 0 "oversized model without a limit" -- \
+  "$ROOT/tests/corpus/oversized.pase" --devices 4
+expect 1 "oversized model under --max-model-nodes 8" -- \
+  "$ROOT/tests/corpus/oversized.pase" --devices 4 --max-model-nodes 8
 
 note "CLI usage errors"
 expect 2 "no arguments" --
@@ -107,6 +113,56 @@ else
   bad "structural metrics differ between --threads 1 and --threads 8"
 fi
 
+note "serve smoke: daemon + loadgen bursts (sanitized binaries)"
+SERVE="$BUILD/tools/pase_serve"
+LOADGEN="$BUILD/tools/pase_loadgen"
+SOCK="$OBS_TMP/serve.sock"
+
+# serve_burst <label> <loadgen-json> <serve args...>: starts the daemon,
+# fires a 60-request mixed burst, requests shutdown, and checks that both
+# sides exit cleanly (loadgen exits 0 only when every response was
+# classified and repeated queries answered byte-identically).
+serve_burst() {
+  local label="$1" json="$2"
+  shift 2
+  rm -f "$SOCK"
+  "$SERVE" --socket "$SOCK" "$@" > "$OBS_TMP/serve_$label.log" 2>&1 &
+  local serve_pid=$!
+  local up=0
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && { up=1; break; }
+    sleep 0.1
+  done
+  [ "$up" -eq 1 ] || { bad "serve $label: daemon never bound $SOCK"; return; }
+  if "$LOADGEN" --socket "$SOCK" --requests 60 --connections 4 \
+       --zoo mlp,alexnet --devices 4,8 --json "$json" --shutdown \
+       > "$OBS_TMP/loadgen_$label.log" 2>&1; then
+    note "ok serve $label burst (all responses classified)"
+  else
+    bad "serve $label burst (see $OBS_TMP/loadgen_$label.log)"
+  fi
+  if wait "$serve_pid"; then
+    note "ok serve $label clean shutdown"
+  else
+    bad "serve $label: daemon exited non-zero (see $OBS_TMP/serve_$label.log)"
+  fi
+}
+
+if [ -x "$SERVE" ] && [ -x "$LOADGEN" ]; then
+  serve_burst healthy "$OBS_TMP/loadgen_healthy.json" \
+    --workers 2 --deadline-ms 10000
+  grep -q '"watchdog_kills":0' "$OBS_TMP/loadgen_healthy.json" 2>/dev/null \
+    || bad "healthy serve run reported watchdog kills (or no metrics)"
+  # Fault-injected burst: stalls must be watchdog-killed into `error`
+  # responses, poisoned cache entries detected on re-query — and the
+  # daemon must still classify everything and shut down cleanly.
+  serve_burst injected "$OBS_TMP/loadgen_injected.json" \
+    --workers 2 --deadline-ms 300 --watchdog-grace-ms 200 \
+    --inject "slow=0.3:0.05,stall=0.05:2,poison=0.2" --seed 7
+else
+  bad "serve smoke: pase_serve / pase_loadgen not built"
+fi
+
 TSAN_BUILD="$BUILD-tsan"
 note "configuring TSan build in $TSAN_BUILD"
 cmake -B "$TSAN_BUILD" -S "$ROOT" -DPASE_SANITIZE=thread \
@@ -120,7 +176,7 @@ if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
   if [ -x "$TSAN_BUILD/tests/pase_tests" ]; then
     note "running concurrency tests under TSan"
     TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/pase_tests" \
-        --gtest_filter='ThreadPool.*:CostCache.*:Determinism.*:DpSolver*.*' \
+        --gtest_filter='ThreadPool.*:CostCache.*:Determinism.*:DpSolver*.*:Serve*.*' \
       || bad "TSan concurrency tests"
   fi
 fi

@@ -5,6 +5,7 @@
 //            [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]
 //            [--deadline SECONDS] [--strict] [--beam-width N]
 //            [--threads N] [--no-cost-cache] [--comm-model MODE]
+//            [--max-model-nodes N]
 //            [--faults SPEC] [--fault-aware] [--robustness N] [--seed S]
 //
 // Search engine options: --threads N fans the DP's per-vertex cost
@@ -82,6 +83,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--threads N] [--no-cost-cache]\n"
       "          [--comm-model simple|auto|ring|tree|hd|hier]\n"
       "          [--max-table-entries N] [--max-combinations N]\n"
+      "          [--max-model-nodes N]\n"
       "          [--faults SPEC] [--fault-aware] [--robustness N] [--seed "
       "S]\n"
       "          [--help]\n"
@@ -96,6 +98,10 @@ void print_usage(std::FILE* out, const char* argv0) {
       "            (0 = hardware concurrency, the default; results are\n"
       "            bit-identical at any thread count); --no-cost-cache\n"
       "            disables layer/transfer cost memoization\n"
+      "input limits: --max-model-nodes N rejects models with more than N\n"
+      "            layers before any solver work (0 = unlimited, the\n"
+      "            default); dimension products that would overflow 64-bit\n"
+      "            table sizing are always rejected\n"
       "comm model: collective pricing for costs and simulation — simple\n"
       "            (paper's ring-bytes form, the default), auto (cheapest\n"
       "            algorithm per message), or a forced algorithm family\n"
@@ -163,6 +169,7 @@ int main(int argc, char** argv) {
   CommModelKind comm_kind = CommModelKind::kSimple;
   i64 max_table_entries = 0;  // 0 = DpOptions default
   i64 max_combinations = 0;
+  i64 max_model_nodes = 0;  // 0 = unlimited
   const char* faults_arg = nullptr;
   bool fault_aware = false;
   i64 robustness_scenarios = 16;
@@ -231,6 +238,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--max-combinations") == 0) {
       if (!value(&v) || !parse_i64_flag(arg, v, 1, &max_combinations))
         return kExitUsage;
+    } else if (std::strcmp(arg, "--max-model-nodes") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 0, &max_model_nodes))
+        return kExitUsage;
     } else if (std::strcmp(arg, "--faults") == 0) {
       if (!value(&faults_arg)) return kExitUsage;
     } else if (std::strcmp(arg, "--fault-aware") == 0) {
@@ -260,7 +270,9 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const ModelParseResult model = parse_model(buffer.str());
+  ModelParseLimits parse_limits;
+  parse_limits.max_nodes = max_model_nodes;
+  const ModelParseResult model = parse_model(buffer.str(), parse_limits);
   if (!model.ok) {
     std::fprintf(stderr, "error: %s: %s\n", model_path, model.error.c_str());
     return kExitRuntime;

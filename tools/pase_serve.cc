@@ -1,0 +1,202 @@
+// pase_serve — the resilient strategy-serving daemon (src/serve): accepts
+// line-delimited JSON solve queries on a Unix-domain socket and keeps the
+// solver's caches warm across requests.
+//
+//   pase_serve --socket PATH [--workers N] [--solver-threads N]
+//              [--queue-depth N] [--deadline-ms D] [--max-deadline-ms D]
+//              [--watchdog-grace-ms D] [--cache-entries N]
+//              [--max-model-nodes N] [--inject SPEC] [--seed S]
+//              [--metrics-out FILE]
+//
+// Robustness knobs:
+//   --queue-depth N        admitted solves before requests are shed
+//   --deadline-ms D        default per-request budget (requests may send
+//                          their own, clamped by --max-deadline-ms)
+//   --watchdog-grace-ms D  a solve still running at deadline + grace is
+//                          cancelled and answered `error`
+//   --inject SPEC          seeded fault injection, e.g.
+//                          "slow=0.3:0.05,stall=0.05:2,poison=0.2"
+//                          (see src/serve/inject.h)
+//
+// SIGINT/SIGTERM or a {"op":"shutdown"} request stop the daemon cleanly;
+// --metrics-out dumps the final serve.* metrics snapshot on exit.
+//
+// Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "serve/server.h"
+
+using namespace pase;
+using namespace pase::serve;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+SocketServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server) g_server->stop();
+}
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s --socket PATH [--workers N] [--solver-threads N]\n"
+      "          [--queue-depth N] [--deadline-ms D] [--max-deadline-ms D]\n"
+      "          [--watchdog-grace-ms D] [--cache-entries N]\n"
+      "          [--max-model-nodes N] [--inject SPEC] [--seed S]\n"
+      "          [--metrics-out FILE]\n"
+      "\n"
+      "Serves strategy queries over line-delimited JSON on a Unix socket\n"
+      "(protocol: src/serve/protocol.h). Requests beyond --queue-depth are\n"
+      "shed with an explicit response; solves overrunning their deadline\n"
+      "degrade to the beam fallback; solves overrunning deadline + grace\n"
+      "are killed by the watchdog. --inject arms seeded fault injection\n"
+      "(slow=RATE:SECONDS,stall=RATE:SECONDS,poison=RATE).\n",
+      argv0);
+}
+
+bool parse_i64_flag(const char* flag, const char* v, i64 min, i64* out) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (v[0] == '\0' || *end != '\0' || parsed < min) {
+    std::fprintf(stderr, "error: invalid value '%s' for %s\n", v, flag);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool parse_double_flag(const char* flag, const char* v, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (v[0] == '\0' || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr, "error: invalid value '%s' for %s\n", v, flag);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  const char* metrics_out_path = nullptr;
+  ServeOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", arg);
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if (!value(&v)) return kExitUsage;
+      socket_path = v;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &options.workers))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--solver-threads") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 0, &options.solver_threads))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &options.queue_depth))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if (!value(&v) ||
+          !parse_double_flag(arg, v, &options.default_deadline_ms))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--max-deadline-ms") == 0) {
+      if (!value(&v) || !parse_double_flag(arg, v, &options.max_deadline_ms))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--watchdog-grace-ms") == 0) {
+      if (!value(&v) ||
+          !parse_double_flag(arg, v, &options.watchdog_grace_ms))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--cache-entries") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &options.cache_entries))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--max-model-nodes") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 0, &options.max_model_nodes))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--inject") == 0) {
+      if (!value(&v)) return kExitUsage;
+      const InjectParseResult inject = parse_inject_spec(v);
+      if (!inject.ok) {
+        std::fprintf(stderr, "error: --inject: %s\n", inject.error.c_str());
+        return kExitUsage;
+      }
+      options.inject = inject.spec;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      i64 seed = 0;
+      if (!value(&v) || !parse_i64_flag(arg, v, 0, &seed)) return kExitUsage;
+      options.seed = static_cast<u64>(seed);
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (!value(&metrics_out_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage(stdout, argv[0]);
+      return kExitOk;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg);
+      print_usage(stderr, argv[0]);
+      return kExitUsage;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "error: --socket PATH is required\n");
+    print_usage(stderr, argv[0]);
+    return kExitUsage;
+  }
+
+  ServeCore core(options);
+  SocketServer server(core, socket_path);
+  std::string error;
+  if (!server.listen(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::fprintf(stderr, "pase_serve: listening on %s (workers=%lld, "
+               "queue-depth=%lld, deadline=%gms",
+               socket_path.c_str(),
+               static_cast<long long>(options.workers),
+               static_cast<long long>(options.queue_depth),
+               options.default_deadline_ms);
+  if (!options.inject.empty())
+    std::fprintf(stderr, ", inject=%s seed=%llu",
+                 options.inject.to_string().c_str(),
+                 static_cast<unsigned long long>(options.seed));
+  std::fprintf(stderr, ")\n");
+
+  server.run();
+  g_server = nullptr;
+
+  if (metrics_out_path) {
+    std::ofstream out(metrics_out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out_path);
+      return kExitRuntime;
+    }
+    out << core.metrics().to_json() << "\n";
+  }
+  std::fprintf(stderr, "pase_serve: shut down cleanly (watchdog kills: %llu)\n",
+               static_cast<unsigned long long>(core.watchdog_kills()));
+  return kExitOk;
+}
