@@ -176,6 +176,17 @@ void extract(const std::vector<PositionState>& states,
 
 }  // namespace
 
+const char* trip_cause_name(DpResult::TripCause cause) {
+  switch (cause) {
+    case DpResult::TripCause::kNone: return "none";
+    case DpResult::TripCause::kTableGuard: return "table_guard";
+    case DpResult::TripCause::kWorkGuard: return "work_guard";
+    case DpResult::TripCause::kDeadline: return "deadline";
+    case DpResult::TripCause::kCancelled: return "cancelled";
+  }
+  return "none";
+}
+
 DpResult find_best_strategy(const Graph& graph, const DpOptions& options) {
   WallTimer timer;
   DpResult result;

@@ -158,6 +158,10 @@ struct DpResult {
   u64 cost_cache_misses = 0;
 };
 
+/// Stable wire name for a trip cause ("table_guard", "deadline", ...;
+/// "none" for kNone) — what the serve event log and traces emit.
+const char* trip_cause_name(DpResult::TripCause cause);
+
 /// Runs FindBestStrategy on `graph`. Deterministic: ties are broken by
 /// configuration enumeration order.
 DpResult find_best_strategy(const Graph& graph, const DpOptions& options);

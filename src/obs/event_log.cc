@@ -1,0 +1,41 @@
+#include "obs/event_log.h"
+
+namespace pase {
+
+EventLog::EventLog(i64 memory_capacity)
+    : capacity_(memory_capacity < 1 ? 1 : memory_capacity) {}
+
+bool EventLog::open_sink(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_.open(path, std::ios::out | std::ios::trunc);
+  if (!sink_.is_open()) {
+    if (error != nullptr) *error = "cannot open event log '" + path + "'";
+    sink_open_ = false;
+    return false;
+  }
+  sink_open_ = true;
+  return true;
+}
+
+void EventLog::append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(line);
+  while (static_cast<i64>(ring_.size()) > capacity_) ring_.pop_front();
+  ++total_;
+  if (sink_open_) {
+    sink_ << line << '\n';
+    sink_.flush();
+  }
+}
+
+u64 EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<std::string> EventLog::tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(ring_.begin(), ring_.end());
+}
+
+}  // namespace pase

@@ -1,0 +1,66 @@
+// EventLog: a thread-safe, append-only log of one canonical-JSON line per
+// served request — the serve-path counterpart of TraceSession (spans) and
+// MetricsRegistry (aggregates). Where metrics answer "how is the service
+// doing", the event log answers "what happened to request #1234".
+//
+// Layering: this class knows nothing about JSON — callers (ServeCore)
+// render records through the canonical serve/json.cc writer and append the
+// finished line here. That keeps pase_obs dependency-free while every line
+// stays byte-comparable: same record -> same bytes, regardless of which
+// component logged it.
+//
+// Sinks: append() always records into a bounded in-memory ring (for the
+// `metrics`/test surface and crash triage) and, when open_sink() succeeded,
+// writes the line + '\n' to the file sink and flushes immediately. The
+// flush-per-line policy is deliberate: pase_loadgen's --log-out cross-check
+// joins the file against client-observed responses while the daemon is
+// still running, and a crashed daemon must not lose acknowledged requests
+// from the log. Lines are written whole under one lock, so concurrent
+// appenders can never interleave bytes within a line (the
+// one-line-per-request invariant tested by Serve*EventLog tests).
+//
+// Thread-safety: all members safe to call concurrently (one internal
+// mutex).
+#pragma once
+
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pase {
+
+class EventLog {
+ public:
+  /// Keeps the most recent `memory_capacity` lines in memory (clamped to
+  /// >= 1). The file sink, if opened, always receives every line.
+  explicit EventLog(i64 memory_capacity = 1024);
+
+  /// Start streaming every subsequent line to `path` (truncates). Returns
+  /// false and fills *error on failure; the in-memory ring keeps working
+  /// either way.
+  bool open_sink(const std::string& path, std::string* error);
+
+  /// Append one event line (a complete canonical-JSON object, without the
+  /// trailing newline). Atomic per line: written and flushed whole.
+  void append(const std::string& line);
+
+  /// Lifetime lines appended (monotone; unaffected by ring eviction).
+  u64 total() const;
+
+  /// The in-memory ring, oldest first (at most memory_capacity lines).
+  std::vector<std::string> tail() const;
+
+ private:
+  mutable std::mutex mu_;
+  i64 capacity_;
+  std::deque<std::string> ring_;
+  u64 total_ = 0;
+  std::ofstream sink_;
+  bool sink_open_ = false;
+};
+
+}  // namespace pase

@@ -138,6 +138,70 @@ std::string MetricsRegistry::to_json(bool include_gauges) const {
   return out;
 }
 
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "pase_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(bool include_gauges) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[96];
+
+  for (const auto& [name, value] : counters_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " counter\n";
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(value));
+    out += pn + buf;
+  }
+
+  for (const auto& [name, h] : hists_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " histogram\n";
+    u64 cumulative = 0;
+    for (size_t k = 0; k < h.buckets.size(); ++k) {
+      if (h.buckets[k] == 0) continue;
+      cumulative += h.buckets[k];
+      // Inclusive upper bound of bucket k: 0 for {0}, 2^k - 1 for
+      // [2^(k-1), 2^k).
+      const i64 le =
+          k == 0 ? 0 : static_cast<i64>((u64{1} << k) - 1);
+      std::snprintf(buf, sizeof(buf), "_bucket{le=\"%lld\"} %llu\n",
+                    static_cast<long long>(le),
+                    static_cast<unsigned long long>(cumulative));
+      out += pn + buf;
+    }
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    out += pn + buf;
+    std::snprintf(buf, sizeof(buf), "_sum %lld\n",
+                  static_cast<long long>(h.sum));
+    out += pn + buf;
+    std::snprintf(buf, sizeof(buf), "_count %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    out += pn + buf;
+  }
+
+  if (include_gauges) {
+    for (const auto& [name, value] : gauges_) {
+      const std::string pn = prom_name(name);
+      out += "# TYPE " + pn + " gauge\n";
+      out += pn + " " + fmt_double(value) + "\n";
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::to_text() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t width = 0;

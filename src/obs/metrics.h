@@ -70,6 +70,19 @@ class MetricsRegistry {
   /// Aligned human-readable dump, same ordering as to_json.
   std::string to_text() const;
 
+  /// Prometheus text exposition format (version 0.0.4). Metric names are
+  /// prefixed with "pase_" and sanitized ('.' and any other non
+  /// [a-zA-Z0-9_] byte become '_'). Section order matches to_json —
+  /// counters, histograms, then gauges — so stripping everything from the
+  /// first `# TYPE ... gauge` line onward yields the same structural
+  /// (thread-count-invariant) prefix contract as structural_json().
+  /// Histograms emit cumulative `_bucket{le="..."}` series at the
+  /// inclusive upper bound of each non-empty power-of-two bucket
+  /// (bucket 0 -> le="0", bucket k -> le="2^k - 1") plus `+Inf`, `_sum`
+  /// and `_count`. With include_gauges = false the gauge section is
+  /// omitted entirely.
+  std::string to_prometheus(bool include_gauges = true) const;
+
  private:
   /// Power-of-two histogram: bucket k counts samples whose bit width is k,
   /// i.e. bucket 0 holds {0}, bucket k>=1 holds [2^(k-1), 2^k).

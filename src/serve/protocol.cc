@@ -124,11 +124,16 @@ std::string ServeResponse::to_line() const {
   if (!cache.empty()) obj.object["cache"] = Json::make_string(cache);
   if (!strategy.empty()) obj.object["cost"] = Json::make_number(cost);
   if (elapsed_ms >= 0.0) obj.object["elapsed_ms"] = Json::make_number(elapsed_ms);
+  if (seq >= 0) obj.object["seq"] = Json::make_number(static_cast<double>(seq));
   if (!metrics_json.empty()) {
     // The snapshot comes from our own byte-stable emitter, so it parses;
     // embed it as a value rather than an escaped string.
     if (auto parsed = parse_json(metrics_json))
       obj.object["metrics"] = std::move(*parsed);
+  }
+  if (!slo_json.empty()) {
+    if (auto parsed = parse_json(slo_json))
+      obj.object["slo"] = std::move(*parsed);
   }
   return write_json(obj);
 }

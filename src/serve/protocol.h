@@ -33,7 +33,12 @@
 //
 // Solve responses carry: "code", "id", "cost", "elapsed_ms", "cache"
 // (hit|miss|poisoned), "strategy" (pase-strategy v1 text, ok/degraded
-// only), and "reason" (non-ok codes).
+// only), and "reason" (non-ok codes). Every response also carries "seq",
+// the server-assigned request sequence number — the join key between a
+// response, its event-log line, and its spans in the merged trace.
+// `metrics` responses additionally carry "metrics" (the registry snapshot)
+// and "slo" (rolling p50/p95/p99 over the last --slo-window solves; see
+// obs/rolling.h).
 #pragma once
 
 #include <string>
@@ -89,7 +94,9 @@ struct ServeResponse {
   std::string cache;       ///< "hit" | "miss" | "poisoned"
   double cost = 0.0;
   double elapsed_ms = -1.0;  ///< < 0 = omitted
+  i64 seq = -1;              ///< server request sequence number; < 0 = omitted
   std::string metrics_json;  ///< metrics op only: raw snapshot, not escaped
+  std::string slo_json;      ///< metrics op only: rolling SLO quantiles
 
   std::string to_line() const;
 };

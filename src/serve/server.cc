@@ -5,7 +5,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <future>
 
@@ -17,6 +19,7 @@
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
 #include "models/models.h"
+#include "serve/json.h"
 #include "sim/memory.h"
 #include "util/hash.h"
 #include "util/timer.h"
@@ -59,6 +62,16 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+const char* op_name(ServeRequest::Op op) {
+  switch (op) {
+    case ServeRequest::Op::kSolve: return "solve";
+    case ServeRequest::Op::kPing: return "ping";
+    case ServeRequest::Op::kMetrics: return "metrics";
+    case ServeRequest::Op::kShutdown: return "shutdown";
+  }
+  return "solve";
+}
+
 }  // namespace
 
 /// One in-flight solve, shared by duplicate requests (single-flight
@@ -71,8 +84,19 @@ struct ServeCore::Flight {
 
 ServeCore::ServeCore(ServeOptions options)
     : options_(std::move(options)),
+      events_(options_.event_log_memory),
       results_(options_.cache_entries),
-      pool_(options_.workers < 1 ? 1 : options_.workers) {
+      pool_(options_.workers < 1 ? 1 : options_.workers),
+      epoch_(std::chrono::steady_clock::now()),
+      roll_total_(options_.slo_window),
+      roll_queue_(options_.slo_window),
+      roll_solve_(options_.slo_window) {
+  if (!options_.event_log_path.empty()) {
+    std::string error;
+    if (!events_.open_sink(options_.event_log_path, &error))
+      std::fprintf(stderr, "pase_serve: %s (event log kept in memory only)\n",
+                   error.c_str());
+  }
   watchdog_ = std::thread([this] { watchdog_main(); });
 }
 
@@ -92,6 +116,13 @@ void ServeCore::watchdog_main() {
     const auto now = std::chrono::steady_clock::now();
     for (const auto& w : watches_) {
       if (now >= w->kill_at && !w->killed.load(std::memory_order_relaxed)) {
+        // The kill decision, as an instant span on the request's own
+        // session (safe: the watch is unregistered — under this mutex —
+        // before the session can be torn down).
+        {
+          TraceSession::Span kill_span(w->trace, "watchdog_kill");
+          kill_span.arg("seq", static_cast<i64>(w->seq));
+        }
         w->killed.store(true, std::memory_order_relaxed);
         w->cancel.store(true, std::memory_order_relaxed);
         watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
@@ -137,46 +168,235 @@ std::shared_ptr<const CommModel> ServeCore::comm_model_for(
   return model;
 }
 
+// ---------------------------------------------------------------------------
+// Request scopes and the per-request telemetry surfaces
+
+ServeCore::RequestScope ServeCore::begin_request() {
+  RequestScope scope;
+  scope.seq_ = seq_counter_.fetch_add(1, std::memory_order_relaxed);
+  scope.t0_ = std::chrono::steady_clock::now();
+  if (options_.trace) {
+    scope.offset_us_ =
+        std::chrono::duration<double, std::micro>(scope.t0_ - epoch_).count();
+    scope.trace_ = std::make_unique<TraceSession>();
+    scope.root_ =
+        std::make_unique<TraceSession::Span>(scope.trace_.get(), "request");
+    scope.root_->arg("seq", static_cast<i64>(scope.seq_));
+  }
+  return scope;
+}
+
+void ServeCore::end_request(RequestScope& scope) {
+  if (!scope.trace_) return;
+  scope.root_.reset();  // close the "request" span
+  const double total_ms = ms_since(scope.t0_);
+  std::vector<ChromeEvent> events = scope.trace_->events();
+  scope.trace_.reset();
+  if (options_.slow_trace_ms > 0.0 && total_ms < options_.slow_trace_ms) {
+    metrics_.add_counter("serve.trace.dropped", 1);
+    return;
+  }
+  i64 max_tid = -1;
+  for (const auto& e : events) max_tid = std::max(max_tid, e.tid);
+  std::lock_guard<std::mutex> lk(traces_mu_);
+  // Stitch onto the shared timeline: each request gets its own tid block
+  // (lanes stay distinguishable) and its session-relative timestamps are
+  // shifted by the session's offset from the core epoch, so the merged
+  // trace shows all requests in true wall-clock order.
+  for (auto& e : events) {
+    e.tid += next_trace_tid_;
+    e.ts_us += scope.offset_us_;
+  }
+  next_trace_tid_ += max_tid + 1;
+  kept_traces_.push_back(std::move(events));
+  ++traces_kept_total_;
+  metrics_.add_counter("serve.trace.kept", 1);
+  if (options_.slow_trace_ms > 0.0) {
+    while (static_cast<i64>(kept_traces_.size()) > options_.slow_trace_keep) {
+      kept_traces_.pop_front();
+      metrics_.add_counter("serve.trace.evicted", 1);
+    }
+  }
+}
+
+std::string ServeCore::trace_chrome_json() const {
+  std::lock_guard<std::mutex> lk(traces_mu_);
+  std::vector<ChromeEvent> all;
+  for (const auto& bundle : kept_traces_)
+    all.insert(all.end(), bundle.begin(), bundle.end());
+  return to_chrome_trace_json(all);
+}
+
+u64 ServeCore::traces_kept() const {
+  std::lock_guard<std::mutex> lk(traces_mu_);
+  return traces_kept_total_;
+}
+
+void ServeCore::log_event(const RequestScope& scope, const ServeRequest* req,
+                          const ServeResponse& resp, const SolveAudit* audit,
+                          double total_ms) {
+  Json ev = Json::make_object();
+  ev.object["seq"] = Json::make_number(static_cast<double>(scope.seq()));
+  if (req != nullptr) ev.object["op"] = Json::make_string(op_name(req->op));
+  if (req != nullptr && !req->id.empty())
+    ev.object["id"] = Json::make_string(req->id);
+  ev.object["code"] = Json::make_string(response_code_name(resp.code));
+  if (!resp.cache.empty()) ev.object["cache"] = Json::make_string(resp.cache);
+  ev.object["total_ms"] = Json::make_number(total_ms);
+  if (audit != nullptr) {
+    ev.object["deadline_ms"] = Json::make_number(audit->deadline_ms);
+    ev.object["remaining_ms"] =
+        Json::make_number(audit->deadline_ms - total_ms);
+    if (audit->queue_ms >= 0.0)
+      ev.object["queue_ms"] = Json::make_number(audit->queue_ms);
+    if (audit->solve_ms >= 0.0)
+      ev.object["solve_ms"] = Json::make_number(audit->solve_ms);
+    if (audit->trip != nullptr)
+      ev.object["trip"] = Json::make_string(audit->trip);
+    if (audit->dedup) ev.object["dedup"] = Json::make_bool(true);
+  }
+  events_.append(write_json(ev));
+}
+
+ServeCore::SloSnapshot ServeCore::slo_snapshot() const {
+  SloSnapshot snap;
+  snap.window = options_.slo_window;
+  snap.total = roll_total_.snapshot();
+  snap.queue_wait = roll_queue_.snapshot();
+  snap.solve = roll_solve_.snapshot();
+  return snap;
+}
+
+std::string ServeCore::slo_json() const {
+  const SloSnapshot snap = slo_snapshot();
+  auto fill = [](const RollingHistogram::Snapshot& s) {
+    Json o = Json::make_object();
+    o.object["count"] = Json::make_number(static_cast<double>(s.count));
+    o.object["p50_ms"] = Json::make_number(s.p50);
+    o.object["p95_ms"] = Json::make_number(s.p95);
+    o.object["p99_ms"] = Json::make_number(s.p99);
+    return o;
+  };
+  Json obj = Json::make_object();
+  obj.object["window"] =
+      Json::make_number(static_cast<double>(snap.window));
+  obj.object["total"] = fill(snap.total);
+  obj.object["queue_wait"] = fill(snap.queue_wait);
+  obj.object["solve"] = fill(snap.solve);
+  return write_json(obj);
+}
+
+void ServeCore::refresh_volatile_gauges() {
+  metrics_.set_gauge(
+      "serve.inflight",
+      static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  const SloSnapshot snap = slo_snapshot();
+  metrics_.set_gauge("serve.slo.total_p50_ms", snap.total.p50);
+  metrics_.set_gauge("serve.slo.total_p99_ms", snap.total.p99);
+  metrics_.set_gauge("serve.slo.queue_p50_ms", snap.queue_wait.p50);
+  metrics_.set_gauge("serve.slo.queue_p99_ms", snap.queue_wait.p99);
+  metrics_.set_gauge("serve.slo.solve_p50_ms", snap.solve.p50);
+  metrics_.set_gauge("serve.slo.solve_p99_ms", snap.solve.p99);
+}
+
+std::string ServeCore::metrics_snapshot(bool prometheus) {
+  refresh_volatile_gauges();
+  return prometheus ? metrics_.to_prometheus() : metrics_.to_json();
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+
 std::string ServeCore::handle_line(const std::string& line) {
+  RequestScope scope = begin_request();
+  std::string response = handle_line(line, scope);
+  end_request(scope);
+  return response;
+}
+
+std::string ServeCore::handle_overlong(RequestScope& scope) {
+  const auto handled = std::chrono::steady_clock::now();
   metrics_.add_counter("serve.requests", 1);
-  const RequestParseResult parsed = parse_request(line);
+  metrics_.add_counter("serve.responses.malformed", 1);
+  ServeResponse resp;
+  resp.code = ResponseCode::kMalformed;
+  resp.reason = "request line exceeds " +
+                std::to_string(options_.max_line_bytes) + " bytes";
+  resp.seq = static_cast<i64>(scope.seq());
+  log_event(scope, nullptr, resp, nullptr, ms_since(handled));
+  return resp.to_line();
+}
+
+std::string ServeCore::handle_line(const std::string& line,
+                                   RequestScope& scope) {
+  const auto handled = std::chrono::steady_clock::now();
+  metrics_.add_counter("serve.requests", 1);
+  TraceSession::Span handle_span(scope.trace(), "handle");
+  handle_span.arg("seq", static_cast<i64>(scope.seq()));
+
+  RequestParseResult parsed;
+  {
+    TraceSession::Span parse_span(scope.trace(), "parse");
+    parsed = parse_request(line);
+  }
+
+  ServeResponse resp;
+  resp.seq = static_cast<i64>(scope.seq());
   if (!parsed.ok) {
     metrics_.add_counter("serve.responses.malformed", 1);
-    ServeResponse resp;
     resp.code = ResponseCode::kMalformed;
     resp.reason = parsed.error;
+    log_event(scope, nullptr, resp, nullptr, ms_since(handled));
     return resp.to_line();
   }
   const ServeRequest& req = parsed.request;
 
-  ServeResponse resp;
   resp.id = req.id;
+  SolveAudit audit;
+  bool is_solve = false;
   switch (req.op) {
     case ServeRequest::Op::kPing:
       metrics_.add_counter("serve.responses.ok", 1);
-      return resp.to_line();
+      break;
     case ServeRequest::Op::kMetrics:
-      metrics_.set_gauge("serve.inflight",
-                         static_cast<double>(
-                             inflight_.load(std::memory_order_relaxed)));
+      refresh_volatile_gauges();
       resp.metrics_json = metrics_.to_json();
+      resp.slo_json = slo_json();
       metrics_.add_counter("serve.responses.ok", 1);
-      return resp.to_line();
+      break;
     case ServeRequest::Op::kShutdown:
       shutdown_.store(true, std::memory_order_release);
       metrics_.add_counter("serve.responses.ok", 1);
-      return resp.to_line();
-    case ServeRequest::Op::kSolve:
       break;
+    case ServeRequest::Op::kSolve: {
+      is_solve = true;
+      resp = handle_solve(req, scope, audit);
+      resp.id = req.id;
+      resp.seq = static_cast<i64>(scope.seq());
+      metrics_.add_counter(
+          std::string("serve.responses.") + response_code_name(resp.code), 1);
+      break;
+    }
   }
-  resp = handle_solve(req);
-  resp.id = req.id;
-  metrics_.add_counter(
-      std::string("serve.responses.") + response_code_name(resp.code), 1);
+
+  const double total_ms = ms_since(handled);
+  if (is_solve) {
+    roll_total_.record(total_ms);
+    // Queue/solve rolls take one sample per *flight*, recorded by its
+    // leader — joiners share the leader's numbers and must not skew the
+    // distribution; hits and sheds never reach a worker at all.
+    if (audit.admitted) {
+      roll_queue_.record(audit.queue_ms);
+      roll_solve_.record(audit.solve_ms);
+    }
+  }
+  log_event(scope, &req, resp, is_solve ? &audit : nullptr, total_ms);
   return resp.to_line();
 }
 
-ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
+ServeResponse ServeCore::handle_solve(const ServeRequest& req,
+                                      RequestScope& scope,
+                                      SolveAudit& audit) {
   const auto accepted = std::chrono::steady_clock::now();
   ServeResponse resp;
   auto finish = [&](ServeResponse& r) -> ServeResponse& {
@@ -184,37 +404,48 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
     return r;
   };
 
+  // The request's wall-clock budget, resolved once: the audit, the
+  // admission path, and the watchdog all see the same number.
+  double deadline_ms = req.deadline_ms > 0.0 ? req.deadline_ms
+                                             : options_.default_deadline_ms;
+  if (options_.max_deadline_ms > 0.0 && deadline_ms > options_.max_deadline_ms)
+    deadline_ms = options_.max_deadline_ms;
+  audit.deadline_ms = deadline_ms;
+
   // Build the request graph (zoo by name, or inline text through the
   // hardened parser — this is the service's untrusted-input boundary).
   Graph graph;
-  if (!req.zoo.empty()) {
-    auto built = build_zoo_graph(req.zoo);
-    if (!built) {
+  {
+    TraceSession::Span build_span(scope.trace(), "build_graph");
+    if (!req.zoo.empty()) {
+      auto built = build_zoo_graph(req.zoo);
+      if (!built) {
+        resp.code = ResponseCode::kMalformed;
+        resp.reason = "unknown zoo model '" + req.zoo + "'";
+        return finish(resp);
+      }
+      graph = std::move(*built);
+    } else {
+      ModelParseLimits limits;
+      limits.max_nodes = options_.max_model_nodes;
+      ModelParseResult model = parse_model(req.model_text, limits);
+      if (!model.ok) {
+        resp.code = ResponseCode::kMalformed;
+        resp.reason = "model: " + model.error;
+        return finish(resp);
+      }
+      graph = std::move(model.graph);
+    }
+    if (!build_machine(req.machine, req.devices)) {
       resp.code = ResponseCode::kMalformed;
-      resp.reason = "unknown zoo model '" + req.zoo + "'";
+      resp.reason = "unknown machine '" + req.machine + "'";
       return finish(resp);
     }
-    graph = std::move(*built);
-  } else {
-    ModelParseLimits limits;
-    limits.max_nodes = options_.max_model_nodes;
-    ModelParseResult model = parse_model(req.model_text, limits);
-    if (!model.ok) {
+    if (!parse_comm_model_kind(req.comm_model)) {
       resp.code = ResponseCode::kMalformed;
-      resp.reason = "model: " + model.error;
+      resp.reason = "unknown comm model '" + req.comm_model + "'";
       return finish(resp);
     }
-    graph = std::move(model.graph);
-  }
-  if (!build_machine(req.machine, req.devices)) {
-    resp.code = ResponseCode::kMalformed;
-    resp.reason = "unknown machine '" + req.machine + "'";
-    return finish(resp);
-  }
-  if (!parse_comm_model_kind(req.comm_model)) {
-    resp.code = ResponseCode::kMalformed;
-    resp.reason = "unknown comm model '" + req.comm_model + "'";
-    return finish(resp);
   }
 
   ResultKey key;
@@ -236,9 +467,15 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
   // request falls through to a fresh solve.
   ResultCache::Entry entry;
   bool poisoned = false;
-  if (results_.lookup(khash, &entry)) {
+  bool hit;
+  {
+    TraceSession::Span lookup_span(scope.trace(), "cache_lookup");
+    hit = results_.lookup(khash, &entry);
+  }
+  if (hit) {
     bool verified = true;
     if (!entry.strategy.empty()) {
+      TraceSession::Span verify_span(scope.trace(), "cache_verify");
       CostParams params = CostParams::for_machine(
           *build_machine(req.machine, req.devices),
           *parse_comm_model_kind(req.comm_model));
@@ -251,6 +488,8 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
     if (verified) {
       metrics_.add_counter("serve.cache.hits", 1);
       resp.cache = "hit";
+      if (entry.trip_cause != DpResult::TripCause::kNone)
+        audit.trip = trip_cause_name(entry.trip_cause);
       switch (entry.status) {
         case DpStatus::kOk: resp.code = ResponseCode::kOk; break;
         case DpStatus::kDegraded: resp.code = ResponseCode::kDegraded; break;
@@ -281,12 +520,15 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
   // Duplicate in-flight requests join the leader instead of taking a slot.
   std::shared_ptr<Flight> flight;
   bool leader = false;
+  const auto submitted = std::chrono::steady_clock::now();
   {
+    TraceSession::Span admission_span(scope.trace(), "admission");
     std::lock_guard<std::mutex> lk(flight_mu_);
     auto it = flights_.find(khash);
     if (it != flights_.end()) {
       flight = it->second;
       metrics_.add_counter("serve.dedup.joined", 1);
+      audit.dedup = true;
     } else {
       if (inflight_.load(std::memory_order_relaxed) >=
           options_.queue_depth) {
@@ -298,17 +540,13 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
       }
       inflight_.fetch_add(1, std::memory_order_relaxed);
       leader = true;
-      double deadline_ms = req.deadline_ms > 0.0 ? req.deadline_ms
-                                                 : options_.default_deadline_ms;
-      if (options_.max_deadline_ms > 0.0 &&
-          deadline_ms > options_.max_deadline_ms)
-        deadline_ms = options_.max_deadline_ms;
       flight = std::make_shared<Flight>();
       auto task = std::make_shared<std::packaged_task<SolveOutcome()>>(
-          [this, req, graph = std::move(graph), key, accepted, deadline_ms,
-           draw]() mutable {
-            SolveOutcome out =
-                run_solve(req, graph, key, accepted, deadline_ms, draw);
+          [this, req, graph = std::move(graph), key, accepted, submitted,
+           deadline_ms, draw, trace = scope.trace(),
+           seq = scope.seq()]() mutable {
+            SolveOutcome out = run_solve(req, graph, key, accepted, submitted,
+                                         deadline_ms, draw, trace, seq);
             inflight_.fetch_sub(1, std::memory_order_relaxed);
             return out;
           });
@@ -318,17 +556,31 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
     }
   }
 
-  const SolveOutcome out = flight->future.get();
+  SolveOutcome out;
+  {
+    // Leaders wait for their own solve; joiners wait for someone else's.
+    // The solver's phase spans land on the *leader's* session (worker
+    // lane), stitched to this span by the shared "seq" arg.
+    TraceSession::Span wait_span(scope.trace(),
+                                 leader ? "solve_wait" : "dedup_join");
+    out = flight->future.get();
+  }
   if (leader) {
     std::lock_guard<std::mutex> lk(flight_mu_);
     auto it = flights_.find(khash);
     if (it != flights_.end() && it->second == flight) flights_.erase(it);
   }
 
+  audit.admitted = leader;
+  audit.queue_ms = out.queue_wait_ms;
+  audit.solve_ms = out.solve_ms;
+  audit.trip = out.trip;
+
   resp.code = out.code;
   resp.reason = out.reason;
   resp.cache = poisoned ? "poisoned" : "miss";
   if (!out.strategy.empty()) {
+    TraceSession::Span render_span(scope.trace(), "render");
     resp.cost = out.cost;
     // The leader moved its graph into the solve; joiners still hold
     // theirs. Rebuild for rendering when needed.
@@ -343,14 +595,25 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req) {
 
 ServeCore::SolveOutcome ServeCore::run_solve(
     const ServeRequest& req, const Graph& graph, const ResultKey& key,
-    std::chrono::steady_clock::time_point accepted, double deadline_ms,
-    const InjectDraw& draw) {
+    std::chrono::steady_clock::time_point accepted,
+    std::chrono::steady_clock::time_point submitted, double deadline_ms,
+    const InjectDraw& draw, TraceSession* trace, u64 seq) {
   SolveOutcome out;
+  // This runs on a pool worker: a fresh lane in the leader's session, so
+  // the merged trace shows the handoff from the connection lane
+  // (solve_wait) to the worker lane (solve -> solver phases).
+  TraceSession::Span solve_span(trace, "solve");
+  solve_span.arg("seq", static_cast<i64>(seq));
+  out.queue_wait_ms = ms_since(submitted);
+  solve_span.arg("queue_wait_us",
+                 static_cast<i64>(out.queue_wait_ms * 1e3));
 
   auto watch = std::make_shared<Watch>();
   watch->kill_at = accepted +
                    std::chrono::microseconds(static_cast<i64>(
                        (deadline_ms + options_.watchdog_grace_ms) * 1e3));
+  watch->trace = trace;
+  watch->seq = seq;
   {
     std::lock_guard<std::mutex> lk(watch_mu_);
     watches_.push_back(watch);
@@ -366,6 +629,7 @@ ServeCore::SolveOutcome ServeCore::run_solve(
 
   // Fault injection (deterministic per request; see inject.h).
   if (draw.slow) {
+    TraceSession::Span slow_span(trace, "inject_slow");
     metrics_.add_counter("serve.inject.slow", 1);
     std::this_thread::sleep_for(
         std::chrono::duration<double>(options_.inject.slow_seconds));
@@ -373,6 +637,7 @@ ServeCore::SolveOutcome ServeCore::run_solve(
   if (draw.stall) {
     // A wedged worker: ignores its deadline, yields only to the
     // cancellation token — the watchdog's job.
+    TraceSession::Span stall_span(trace, "inject_stall");
     metrics_.add_counter("serve.inject.stall", 1);
     const auto until =
         std::chrono::steady_clock::now() +
@@ -386,6 +651,7 @@ ServeCore::SolveOutcome ServeCore::run_solve(
   if (watch->cancel.load(std::memory_order_relaxed)) {
     unregister();
     out.code = ResponseCode::kError;
+    out.trip = trip_cause_name(DpResult::TripCause::kCancelled);
     out.reason = "solve killed by watchdog after " +
                  std::to_string(static_cast<i64>(ms_since(accepted))) + "ms";
     return out;
@@ -412,8 +678,15 @@ ServeCore::SolveOutcome ServeCore::run_solve(
   auto shared_cache = cost_cache_for(key, graph);
   options.shared_cost_cache = shared_cache.get();
   options.metrics = &metrics_;
+  // The solver's phase spans (ordering, table_fill, ...) nest inside this
+  // lane's "solve" span in the request's own session.
+  options.trace = trace;
 
+  const auto solve_start = std::chrono::steady_clock::now();
   const DpResult result = find_best_strategy(graph, options);
+  out.solve_ms = ms_since(solve_start);
+  if (result.trip_cause != DpResult::TripCause::kNone)
+    out.trip = trip_cause_name(result.trip_cause);
   unregister();
 
   switch (result.status) {
@@ -536,26 +809,47 @@ void SocketServer::serve_connection(int fd) {
   char chunk[4096];
   bool overlong = false;
   for (;;) {
-    const auto nl = buffer.find('\n');
-    if (nl != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response;
-      if (overlong) {
-        ServeResponse resp;
-        resp.code = ResponseCode::kMalformed;
-        resp.reason = "request line exceeds " +
-                      std::to_string(core_.options().max_line_bytes) +
-                      " bytes";
-        response = resp.to_line();
-        core_.metrics().add_counter("serve.responses.malformed", 1);
-        overlong = false;
-      } else {
-        response = core_.handle_line(line);
+    // One request scope per protocol line, opened *before* the read so
+    // socket_read lands in the same trace as the handling. A scope
+    // abandoned at EOF (no line arrived) is simply discarded.
+    ServeCore::RequestScope scope = core_.begin_request();
+    std::string line;
+    bool got_line = false;
+    {
+      TraceSession::Span read_span(scope.trace(), "socket_read");
+      for (;;) {
+        const auto nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+          line = buffer.substr(0, nl);
+          buffer.erase(0, nl + 1);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;  // blank keep-alive line
+          got_line = true;
+          break;
+        }
+        if (static_cast<i64>(buffer.size()) > core_.options().max_line_bytes) {
+          // Keep draining to the newline but remember to reject the line:
+          // an explicit malformed response, not a silent close.
+          overlong = true;
+          buffer.clear();
+        }
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<size_t>(n));
       }
-      response += '\n';
+    }
+    if (!got_line) break;
+
+    std::string response;
+    if (overlong) {
+      response = core_.handle_overlong(scope);
+      overlong = false;
+    } else {
+      response = core_.handle_line(line, scope);
+    }
+    response += '\n';
+    {
+      TraceSession::Span write_span(scope.trace(), "response_write");
       size_t off = 0;
       while (off < response.size()) {
         const ssize_t n = ::send(fd, response.data() + off,
@@ -563,18 +857,9 @@ void SocketServer::serve_connection(int fd) {
         if (n <= 0) break;
         off += static_cast<size_t>(n);
       }
-      if (core_.shutdown_requested()) break;
-      continue;
     }
-    if (static_cast<i64>(buffer.size()) > core_.options().max_line_bytes) {
-      // Keep draining to the newline but remember to reject the line:
-      // an explicit malformed response, not a silent close.
-      overlong = true;
-      buffer.clear();
-    }
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
+    core_.end_request(scope);
+    if (core_.shutdown_requested()) break;
   }
   ::close(fd);
 }

@@ -27,11 +27,30 @@
 //    survive across requests. Cached results are verified on every hit
 //    (see result_cache.h) and only timing-independent results are stored,
 //    so a cache hit is byte-identical to a fresh solve.
+//
+// Observability invariants (DESIGN.md §11):
+//  * Every request gets exactly one event-log line (obs/event_log.h),
+//    rendered through the canonical serve/json.cc writer, carrying the
+//    server-assigned "seq", op, code, cache disposition, trip cause,
+//    queue wait, solve time, total latency and deadline budget/remaining.
+//    "seq" is also stamped on the response line, joining the three
+//    telemetry surfaces (response, event log, trace).
+//  * With tracing armed, each request runs under its own TraceSession
+//    whose spans — socket_read, parse, cache_lookup/verify, admission,
+//    solve (plus the solver's own phase spans on the worker lane),
+//    inject_* clauses, watchdog_kill, response_write — are stitched into
+//    one merged Chrome trace on a shared timeline (trace_chrome_json()).
+//    Slow-exemplar mode keeps only requests over a latency threshold in a
+//    bounded ring.
+//  * Rolling SLO quantiles (obs/rolling.h) over the last slo_window
+//    solves — total latency, queue wait, solve time — are served by the
+//    `metrics` op and exported as serve.slo.* gauges.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,7 +58,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/rolling.h"
+#include "obs/trace.h"
 #include "serve/inject.h"
 #include "serve/protocol.h"
 #include "serve/result_cache.h"
@@ -64,6 +86,14 @@ struct ServeOptions {
   i64 max_line_bytes = i64{1} << 20;    ///< protocol input-size guard
   InjectSpec inject;                    ///< fault injection (off if empty)
   u64 seed = 1;                         ///< injection draw seed
+  bool trace = false;        ///< arm per-request TraceSessions
+  double slow_trace_ms = 0.0;  ///< keep only requests over this latency
+                               ///< (0 = keep every traced request)
+  i64 slow_trace_keep = 32;  ///< trace ring capacity in slow-exemplar mode
+  i64 slo_window = 512;      ///< rolling SLO window (solve requests)
+  std::string event_log_path;  ///< stream the event log here ("" = memory
+                               ///< ring only)
+  i64 event_log_memory = 1024;  ///< in-memory event ring capacity
 };
 
 class ServeCore {
@@ -74,10 +104,48 @@ class ServeCore {
   ServeCore(const ServeCore&) = delete;
   ServeCore& operator=(const ServeCore&) = delete;
 
+  /// Per-request observability context: the server-assigned sequence
+  /// number and (when tracing is armed) the request's TraceSession.
+  /// Transports open one scope per request so transport work (socket
+  /// read, response write) lands inside the same trace as the handling.
+  /// A scope abandoned without end_request() (e.g. EOF with no request)
+  /// discards its trace.
+  class RequestScope {
+   public:
+    RequestScope() = default;
+    RequestScope(RequestScope&&) = default;
+    RequestScope& operator=(RequestScope&&) = default;
+
+    /// Null when tracing is off — Span construction no-ops on null.
+    TraceSession* trace() const { return trace_.get(); }
+    u64 seq() const { return seq_; }
+
+   private:
+    friend class ServeCore;
+    std::unique_ptr<TraceSession> trace_;
+    std::unique_ptr<TraceSession::Span> root_;  ///< the "request" span
+    u64 seq_ = 0;
+    double offset_us_ = 0.0;  ///< session start relative to core epoch
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+  /// Assigns the next sequence number (and a TraceSession when armed).
+  RequestScope begin_request();
   /// Handles one protocol line end to end and returns the response line
   /// (no trailing newline). Blocking: a solve returns when it completes,
-  /// is shed, or is killed. Thread-safe.
+  /// is shed, or is killed. Thread-safe. Appends exactly one event-log
+  /// line per call.
+  std::string handle_line(const std::string& line, RequestScope& scope);
+  /// Closes the scope: finishes the request span and, when tracing,
+  /// stitches the session into the merged trace (or drops it, in
+  /// slow-exemplar mode, when the request was fast).
+  void end_request(RequestScope& scope);
+  /// Convenience begin/handle/end for transport-less callers (tests,
+  /// bench_serve).
   std::string handle_line(const std::string& line);
+  /// The transport's response to an overlong input line: a malformed
+  /// response that still gets a seq and an event-log line.
+  std::string handle_overlong(RequestScope& scope);
 
   /// True once a shutdown request has been handled.
   bool shutdown_requested() const {
@@ -91,6 +159,32 @@ class ServeCore {
 
   const ServeOptions& options() const { return options_; }
   MetricsRegistry& metrics() { return metrics_; }
+  EventLog& event_log() { return events_; }
+  const EventLog& event_log() const { return events_; }
+
+  /// Rolling SLO quantiles over the last slo_window solve requests.
+  /// `total` covers every solve; `queue_wait`/`solve` cover admitted
+  /// solves only (cache hits and sheds never queue), so their counts lag
+  /// `total` by the hits/sheds — exactly the gap an admission audit wants
+  /// visible.
+  struct SloSnapshot {
+    i64 window = 0;
+    RollingHistogram::Snapshot total;
+    RollingHistogram::Snapshot queue_wait;
+    RollingHistogram::Snapshot solve;
+  };
+  SloSnapshot slo_snapshot() const;
+
+  /// Merged Chrome trace of every kept request, on one timeline (ts = µs
+  /// since core construction, one tid block per request). Empty trace
+  /// ("[]"-only) when tracing is off or nothing was kept.
+  std::string trace_chrome_json() const;
+  u64 traces_kept() const;
+
+  /// Registry snapshot with the volatile serve gauges (inflight, slo)
+  /// refreshed first. Prometheus text when `prometheus`, canonical JSON
+  /// otherwise.
+  std::string metrics_snapshot(bool prometheus);
 
  private:
   /// Outcome of one solve, shared between duplicate in-flight requests.
@@ -99,6 +193,9 @@ class ServeCore {
     double cost = 0.0;
     Strategy strategy;
     std::string reason;
+    double queue_wait_ms = 0.0;  ///< submit -> worker pickup
+    double solve_ms = 0.0;       ///< solver wall time (excludes injects)
+    const char* trip = nullptr;  ///< trip_cause_name() when a guard tripped
   };
   struct Flight;
 
@@ -107,22 +204,52 @@ class ServeCore {
     std::atomic<bool> cancel{false};
     std::atomic<bool> killed{false};
     std::chrono::steady_clock::time_point kill_at;
+    TraceSession* trace = nullptr;  ///< request session, for the kill span
+    u64 seq = 0;
   };
 
-  ServeResponse handle_solve(const ServeRequest& request);
+  /// What handle_solve learned about one request, for the event line and
+  /// the rolling SLO. queue/solve < 0 = request never reached a worker
+  /// (hit, shed, malformed).
+  struct SolveAudit {
+    double deadline_ms = 0.0;
+    double queue_ms = -1.0;
+    double solve_ms = -1.0;
+    const char* trip = nullptr;
+    bool dedup = false;    ///< joined another request's flight
+    bool admitted = false;  ///< this request was the flight leader
+  };
+
+  ServeResponse handle_solve(const ServeRequest& request, RequestScope& scope,
+                             SolveAudit& audit);
   SolveOutcome run_solve(const ServeRequest& request, const Graph& graph,
                          const ResultKey& key,
                          std::chrono::steady_clock::time_point accepted,
-                         double deadline_ms, const InjectDraw& draw);
+                         std::chrono::steady_clock::time_point submitted,
+                         double deadline_ms, const InjectDraw& draw,
+                         TraceSession* trace, u64 seq);
   std::shared_ptr<CostCache> cost_cache_for(const ResultKey& key,
                                             const Graph& graph);
   std::shared_ptr<const CommModel> comm_model_for(const ServeRequest& request);
   void watchdog_main();
+  /// Renders + appends the one event-log line for this request.
+  void log_event(const RequestScope& scope, const ServeRequest* request,
+                 const ServeResponse& response, const SolveAudit* audit,
+                 double total_ms);
+  /// Rolling SLO as a canonical-JSON object (the metrics op's "slo").
+  std::string slo_json() const;
+  void refresh_volatile_gauges();
 
   ServeOptions options_;
   MetricsRegistry metrics_;
+  EventLog events_;
   ResultCache results_;
   ThreadPool pool_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  RollingHistogram roll_total_;
+  RollingHistogram roll_queue_;
+  RollingHistogram roll_solve_;
 
   std::mutex caches_mu_;
   std::unordered_map<u64, std::shared_ptr<CostCache>> cost_caches_;
@@ -137,8 +264,16 @@ class ServeCore {
   std::thread watchdog_;
   bool watchdog_stop_ = false;
 
+  /// Kept per-request event bundles (already shifted onto the shared
+  /// timeline and remapped to unique tids).
+  mutable std::mutex traces_mu_;
+  std::deque<std::vector<ChromeEvent>> kept_traces_;
+  i64 next_trace_tid_ = 0;
+  u64 traces_kept_total_ = 0;
+
   std::atomic<i64> inflight_{0};
-  std::atomic<u64> request_counter_{0};
+  std::atomic<u64> request_counter_{0};  ///< feeds injection draws
+  std::atomic<u64> seq_counter_{0};      ///< response/event/trace join key
   std::atomic<u64> watchdog_kills_{0};
   std::atomic<bool> shutdown_{false};
 };

@@ -162,5 +162,31 @@ TEST(GoldenMetrics, StructuralSnapshotMatches) {
                     snapshot.substr(0, gauges) + "...gauges stripped...\n");
 }
 
+// Same contract for the Prometheus exposition (--metrics-format prom):
+// counters and histograms are emitted before any gauge, so stripping from
+// the first gauge TYPE line leaves the thread-count-invariant prefix.
+TEST(GoldenMetrics, PrometheusSnapshotMatches) {
+  const std::string scratch = temp_dir();
+  const std::string metrics_path = scratch + "/example_metrics.prom";
+  const auto [status, raw] = run_command(
+      std::string(PASE_CLI_PATH) + " " + PASE_SOURCE_DIR +
+      "/tools/example_model.pase --devices 8 --threads 2 --metrics-out " +
+      metrics_path + " --metrics-format prom");
+  ASSERT_EQ(status, 0) << raw;
+
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "CLI did not write " << metrics_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string snapshot = buf.str();
+  // Find the first gauge TYPE header and cut at its line start.
+  size_t cut = snapshot.find(" gauge\n");
+  ASSERT_NE(cut, std::string::npos) << snapshot;
+  cut = snapshot.rfind("# TYPE", cut);
+  ASSERT_NE(cut, std::string::npos);
+  compare_to_golden("example_model_metrics_prom.txt",
+                    snapshot.substr(0, cut) + "...gauges stripped...\n");
+}
+
 }  // namespace
 }  // namespace pase

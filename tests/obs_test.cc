@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,7 +20,9 @@
 #include "mini_json.h"
 #include "models/models.h"
 #include "obs/chrome_trace.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 #include "search/baselines.h"
 #include "sim/simulator.h"
@@ -135,6 +140,128 @@ TEST(Metrics, TextDumpListsEverySection) {
   EXPECT_NE(text.find("counter"), std::string::npos);
   EXPECT_NE(text.find("histogram"), std::string::npos);
   EXPECT_NE(text.find("gauge"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusByteFormat) {
+  // The Prometheus exposition is a byte contract like to_json():
+  // counters, then histograms (cumulative buckets at le = 2^k - 1,
+  // then +Inf/_sum/_count), then gauges strictly last.
+  MetricsRegistry reg;
+  reg.add_counter("c.req", 7);
+  reg.record("h.sz", 0);
+  reg.record("h.sz", 1);
+  reg.record("h.sz", 2);
+  reg.record("h.sz", 5);
+  reg.set_gauge("g.load", 1.5);
+
+  EXPECT_EQ(reg.to_prometheus(),
+            "# TYPE pase_c_req counter\n"
+            "pase_c_req 7\n"
+            "# TYPE pase_h_sz histogram\n"
+            "pase_h_sz_bucket{le=\"0\"} 1\n"
+            "pase_h_sz_bucket{le=\"1\"} 2\n"
+            "pase_h_sz_bucket{le=\"3\"} 3\n"
+            "pase_h_sz_bucket{le=\"7\"} 4\n"
+            "pase_h_sz_bucket{le=\"+Inf\"} 4\n"
+            "pase_h_sz_sum 8\n"
+            "pase_h_sz_count 4\n"
+            "# TYPE pase_g_load gauge\n"
+            "pase_g_load 1.5\n");
+
+  // Gauges strip cleanly: the gauge-free dump is the exact prefix up to
+  // the first gauge TYPE line — the prom analogue of structural_json().
+  const std::string full = reg.to_prometheus();
+  const std::string structural = reg.to_prometheus(/*include_gauges=*/false);
+  EXPECT_EQ(structural, full.substr(0, full.find("# TYPE pase_g_load")));
+}
+
+// ---------------------------------------------------------------------------
+// RollingHistogram: the windowed SLO quantile estimator.
+
+TEST(RollingHistogram, WindowedQuantilesAreDeterministic) {
+  RollingHistogram roll(4);
+  for (int v = 1; v <= 10; ++v) roll.record(static_cast<double>(v));
+  // The ring holds exactly the last 4 samples {7,8,9,10}; total counts
+  // everything ever recorded.
+  EXPECT_EQ(roll.count(), 4);
+  EXPECT_EQ(roll.total(), 10u);
+  EXPECT_EQ(roll.window(), 4);
+  // Nearest-rank on the sorted window: index floor(q * (n - 1)).
+  EXPECT_DOUBLE_EQ(roll.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(roll.quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(roll.quantile(0.99), 9.0);
+  EXPECT_DOUBLE_EQ(roll.quantile(1.0), 10.0);
+
+  const RollingHistogram::Snapshot snap = roll.snapshot();
+  EXPECT_EQ(snap.window, 4);
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_EQ(snap.total, 10u);
+  EXPECT_DOUBLE_EQ(snap.p50, 8.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 9.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 9.0);
+
+  // Same request order -> bit-identical snapshot (the determinism the
+  // event-log/SLO contract in DESIGN.md §11 promises).
+  RollingHistogram again(4);
+  for (int v = 1; v <= 10; ++v) again.record(static_cast<double>(v));
+  const RollingHistogram::Snapshot snap2 = again.snapshot();
+  EXPECT_EQ(snap.p50, snap2.p50);
+  EXPECT_EQ(snap.p95, snap2.p95);
+  EXPECT_EQ(snap.p99, snap2.p99);
+}
+
+TEST(RollingHistogram, EmptyAndPartialWindows) {
+  RollingHistogram roll(8);
+  EXPECT_EQ(roll.count(), 0);
+  EXPECT_DOUBLE_EQ(roll.quantile(0.5), 0.0);  // empty -> 0, not NaN
+  const RollingHistogram::Snapshot empty = roll.snapshot();
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+  roll.record(3.0);
+  // A single sample answers every quantile.
+  EXPECT_DOUBLE_EQ(roll.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(roll.quantile(0.99), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// EventLog: bounded memory ring + optional per-line-flushed sink.
+
+TEST(EventLog, MemoryRingKeepsTailAndCountsTotal) {
+  EventLog log(2);
+  log.append("{\"seq\":0}");
+  log.append("{\"seq\":1}");
+  log.append("{\"seq\":2}");
+  EXPECT_EQ(log.total(), 3u);
+  const std::vector<std::string> tail = log.tail();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], "{\"seq\":1}");
+  EXPECT_EQ(tail[1], "{\"seq\":2}");
+}
+
+TEST(EventLog, SinkStreamsOneLinePerAppend) {
+  const std::string path = ::testing::TempDir() + "pase_event_log_test.jsonl";
+  EventLog log(8);
+  std::string error;
+  ASSERT_TRUE(log.open_sink(path, &error)) << error;
+  log.append("{\"seq\":0}");
+  log.append("{\"seq\":1}");
+  // Flushed per line: readable while the log is still open (that is what
+  // lets pase_loadgen cross-check a live daemon).
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"seq\":0}");
+  EXPECT_EQ(lines[1], "{\"seq\":1}");
+  std::remove(path.c_str());
+
+  // An unwritable sink reports the path instead of silently dropping.
+  EventLog bad(2);
+  EXPECT_FALSE(bad.open_sink("/nonexistent-dir/event.log", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 // ---------------------------------------------------------------------------

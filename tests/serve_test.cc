@@ -6,8 +6,11 @@
 // here is an in-process unit test.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "core/dp_solver.h"
 #include "cost/machine.h"
@@ -455,6 +458,199 @@ TEST(ServeCore, DuplicateInFlightQueriesShareOneSolve) {
   EXPECT_EQ(p1->get_string("strategy"), p2->get_string("strategy"));
   EXPECT_EQ(core.metrics().counter("serve.dedup.joined"), 1u);
   EXPECT_EQ(core.metrics().counter("serve.inject.slow"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability of the serve path (DESIGN.md §11): event log, rolling SLO,
+// request-scoped traces. All suites here keep the Serve prefix so they ride
+// the TSan lane in tools/check.sh.
+
+TEST(ServeObs, EventLogLineIsCanonicalWithExactSchema) {
+  ServeCore core(quiet_options());
+  core.handle_line(solve_line("mlp", 4, ",\"id\":\"q1\""));
+  core.handle_line(solve_line("mlp", 4, ",\"id\":\"q2\""));
+  const std::vector<std::string> tail = core.event_log().tail();
+  ASSERT_EQ(tail.size(), 2u);
+
+  // Canonical bytes: the line round-trips through the serve parser and
+  // writer unchanged, and the independent test-side reader agrees.
+  const auto own = parse_json(tail[0]);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_EQ(write_json(*own), tail[0]);
+  const auto miss = pase::testing::JsonParser::parse(tail[0]);
+  ASSERT_TRUE(miss.has_value());
+
+  // Cold solve: the full schema, nothing more.
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : miss->object) keys.push_back(k);
+  const std::vector<std::string> want = {
+      "cache",  "code",         "deadline_ms", "id",  "op",
+      "queue_ms", "remaining_ms", "seq",         "solve_ms", "total_ms"};
+  EXPECT_EQ(keys, want);
+  EXPECT_EQ(miss->get("op")->string, "solve");
+  EXPECT_EQ(miss->get("code")->string, "ok");
+  EXPECT_EQ(miss->get("cache")->string, "miss");
+  EXPECT_EQ(miss->get("id")->string, "q1");
+  EXPECT_GE(miss->get("queue_ms")->number, 0.0);
+  EXPECT_GE(miss->get("solve_ms")->number, 0.0);
+  EXPECT_LE(miss->get("solve_ms")->number, miss->get("total_ms")->number);
+  EXPECT_DOUBLE_EQ(miss->get("deadline_ms")->number, 30000.0);
+
+  // Cache hit: never queued, so queue_ms/solve_ms are absent.
+  const auto hit = pase::testing::JsonParser::parse(tail[1]);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->get("cache")->string, "hit");
+  EXPECT_EQ(hit->get("id")->string, "q2");
+  EXPECT_EQ(hit->get("queue_ms"), nullptr);
+  EXPECT_EQ(hit->get("solve_ms"), nullptr);
+  // The event seq matches the seq stamped on the response line.
+  EXPECT_EQ(hit->get("seq")->number, 1.0);
+}
+
+TEST(ServeObs, SeqIsMonotoneAndStampedOnResponses) {
+  ServeCore core(quiet_options());
+  for (int k = 0; k < 3; ++k) {
+    const auto r = parse_json(core.handle_line("{\"op\":\"ping\"}"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->get_number("seq", -1.0), static_cast<double>(k));
+  }
+  // Malformed input still gets a seq and exactly one event line.
+  const auto bad = parse_json(core.handle_line("not json"));
+  EXPECT_EQ(bad->get_number("seq", -1.0), 3.0);
+  EXPECT_EQ(core.event_log().total(), 4u);
+}
+
+TEST(ServeObs, ConcurrentBurstLogsExactlyOneLinePerRequest) {
+  ServeOptions options = quiet_options();
+  options.workers = 4;
+  options.event_log_memory = 256;
+  ServeCore core(options);
+  constexpr i64 kRequests = 48;
+  std::atomic<i64> next{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const i64 k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= kRequests) return;
+        core.handle_line(solve_line("mlp", (k % 2) ? 4 : 2));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Exactly one line per request, every line parses, and the seqs are a
+  // permutation of 0..N-1 — no drops, no duplicates under concurrency.
+  EXPECT_EQ(core.event_log().total(), static_cast<u64>(kRequests));
+  const std::vector<std::string> lines = core.event_log().tail();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kRequests));
+  std::set<i64> seqs;
+  for (const std::string& line : lines) {
+    const auto ev = parse_json(line);
+    ASSERT_TRUE(ev.has_value()) << line;
+    seqs.insert(static_cast<i64>(ev->get_number("seq", -1.0)));
+  }
+  EXPECT_EQ(seqs.size(), static_cast<size_t>(kRequests));
+  EXPECT_EQ(*seqs.begin(), 0);
+  EXPECT_EQ(*seqs.rbegin(), kRequests - 1);
+}
+
+TEST(ServeObs, TraceStitchesRequestSpansToSolverPhases) {
+  ServeOptions options = quiet_options();
+  options.trace = true;
+  ServeCore core(options);
+  const auto resp = parse_json(core.handle_line(solve_line("mlp", 4)));
+  ASSERT_EQ(resp->get_string("code"), "ok");
+  const double seq = resp->get_number("seq", -1.0);
+
+  const auto parsed =
+      pase::testing::JsonParser::parse(core.trace_chrome_json());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+
+  const pase::testing::JsonValue* request = nullptr;
+  const pase::testing::JsonValue* handle = nullptr;
+  const pase::testing::JsonValue* solve = nullptr;
+  const pase::testing::JsonValue* table_fill = nullptr;
+  for (const auto& e : parsed->array) {
+    const std::string& name = e.get("name")->string;
+    if (name == "request") request = &e;
+    if (name == "handle") handle = &e;
+    if (name == "solve") solve = &e;
+    if (name == "table_fill") table_fill = &e;
+  }
+  // One merged timeline: the transport-level request span, the handler
+  // span nested inside it, and the solver's own phase spans on the worker
+  // lane — all joined by the "seq" arg.
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(handle, nullptr);
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(table_fill, nullptr) << "solver phases missing from the trace";
+  EXPECT_EQ(request->get("args")->get("seq")->number, seq);
+  EXPECT_EQ(solve->get("args")->get("seq")->number, seq);
+  // handle nests inside request (same lane).
+  EXPECT_EQ(handle->get("tid")->number, request->get("tid")->number);
+  EXPECT_GE(handle->get("ts")->number, request->get("ts")->number);
+  EXPECT_LE(handle->get("ts")->number + handle->get("dur")->number,
+            request->get("ts")->number + request->get("dur")->number + 0.002);
+  // The solver phases land on the request's worker lane.
+  EXPECT_EQ(table_fill->get("tid")->number, solve->get("tid")->number);
+  EXPECT_GE(table_fill->get("ts")->number, solve->get("ts")->number);
+  EXPECT_EQ(core.traces_kept(), 1u);
+}
+
+TEST(ServeObs, SlowExemplarModeKeepsOnlySlowRequests) {
+  ServeOptions options = quiet_options();
+  options.trace = true;
+  options.slow_trace_ms = 150.0;
+  options.inject.slow_rate = 1.0;  // every *solve* sleeps 250ms
+  options.inject.slow_seconds = 0.25;
+  ServeCore core(options);
+
+  const std::string line = solve_line("mlp", 4);
+  core.handle_line(line);  // cold: injected sleep -> over threshold, kept
+  core.handle_line(line);  // cache hit: no worker, fast -> dropped
+  EXPECT_EQ(core.traces_kept(), 1u);
+  EXPECT_EQ(core.metrics().counter("serve.trace.kept"), 1u);
+  EXPECT_EQ(core.metrics().counter("serve.trace.dropped"), 1u);
+
+  // The kept exemplar is the slow request: its injected sleep is visible.
+  EXPECT_NE(core.trace_chrome_json().find("inject_slow"), std::string::npos);
+}
+
+TEST(ServeObs, MetricsOpReportsRollingSloQuantiles) {
+  ServeCore core(quiet_options());
+  const std::string line = solve_line("mlp", 4);
+  core.handle_line(line);
+  core.handle_line(line);
+  core.handle_line(line);
+  const auto r = parse_json(core.handle_line("{\"op\":\"metrics\"}"));
+  ASSERT_TRUE(r.has_value());
+
+  // total covers all 3 solves; queue_wait/solve only the one admitted
+  // flight (the two hits never reached a worker).
+  const Json* slo = r->get("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(slo->get("window")->number, 512.0);
+  EXPECT_EQ(slo->get("total")->get("count")->number, 3.0);
+  EXPECT_EQ(slo->get("queue_wait")->get("count")->number, 1.0);
+  EXPECT_EQ(slo->get("solve")->get("count")->number, 1.0);
+  EXPECT_GT(slo->get("total")->get("p99_ms")->number, 0.0);
+  EXPECT_LE(slo->get("total")->get("p50_ms")->number,
+            slo->get("total")->get("p99_ms")->number);
+
+  // The same quantiles ride the gauges section of the metrics snapshot.
+  const Json* gauges = r->get("metrics")->get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->get("serve.slo.total_p50_ms"), nullptr);
+  EXPECT_NE(gauges->get("serve.slo.queue_p99_ms"), nullptr);
+
+  // slo_snapshot() agrees with the served numbers.
+  const ServeCore::SloSnapshot snap = core.slo_snapshot();
+  EXPECT_EQ(snap.total.count, 3);
+  EXPECT_EQ(snap.queue_wait.count, 1);
+  EXPECT_DOUBLE_EQ(snap.total.p50,
+                   slo->get("total")->get("p50_ms")->number);
 }
 
 }  // namespace

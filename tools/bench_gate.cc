@@ -1,0 +1,332 @@
+// bench_gate — the serve-path perf-regression gate (DESIGN.md §11).
+//
+//   bench_gate BASELINE CURRENT... [--tolerance R] [--stale-ratio S]
+//              [--tail-slack-ms MS] [--scale-baseline F]
+//   bench_gate --update BASELINE CURRENT...
+//
+// Compares fresh bench_serve runs (one or more CURRENT files) against the
+// checked-in baseline (BENCH_serve.json). Gated metrics: every per-model
+// `cached_p50_ms` and `cached_p99_ms` under "models", plus the burst
+// `p50_ms`. Cold-solve times and the burst p99 are NOT gated: cold times
+// are dominated by one-off allocation noise, and the burst p99 lands on
+// whichever cold solve was slowest — the cached-hit distribution is what
+// the serve SLO promises.
+//
+// Statistic: the element-wise MINIMUM across the CURRENT files. The
+// minimum over repeated runs prices the code's uncontended cost — the
+// thing a regression gate should measure — while medians and tails on a
+// shared box price whatever else the machine was doing. tools/check.sh
+// passes three runs. The same statistic produces the baseline:
+// `--update` writes the merged minimum of the CURRENT files to BASELINE
+// (the PASE_UPDATE_BENCH refresh path), so both sides of the comparison
+// are min-of-3-runs.
+//
+// The gate is two-sided:
+//   - ratio = current / (baseline * scale) > 1 + tolerance  -> REGRESSION
+//   - ratio < stale-ratio                                   -> STALE
+// The stale side catches a forgotten baseline after a big optimisation:
+// a baseline 35%+ slower than reality would silently absorb a later
+// regression of the same size.
+//
+// Tail metrics (name contains "p99") get an additional absolute slack of
+// --tail-slack-ms (default 5) on the regression side and skip the stale
+// side: a p99 over ~100us of wall time can absorb a whole scheduler
+// preemption (ms-scale, additive), while a genuine hit-path regression is
+// multiplicative and shows up in the p50s at the strict 25% band anyway.
+//
+// When both sides carry a top-level "cpu_calib_ms" (bench_serve's fixed
+// memory-bound spin), baseline values are additionally scaled by
+// current_calib / baseline_calib: machine-state drift between runs moves
+// the spin and the serve latencies together, so normalizing by it leaves
+// the band measuring the code, not the box.
+//
+// --scale-baseline F multiplies every baseline value by F before
+// comparing; check.sh uses it to self-test the gate (scale 2 must trip
+// STALE, scale 0.5 must trip REGRESSION) without editing JSON in shell.
+//
+// A metric present in the baseline but missing from every CURRENT fails
+// the gate (a renamed field must come with a baseline refresh).
+//
+// Exit codes: 0 pass, 1 gate failure, 2 usage/parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+using namespace pase::serve;
+
+namespace {
+
+constexpr int kExitPass = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s BASELINE CURRENT... [--tolerance R] [--stale-ratio S]\n"
+      "          [--tail-slack-ms MS] [--scale-baseline F]\n"
+      "       %s --update BASELINE CURRENT...\n"
+      "\n"
+      "Diffs bench_serve runs (element-wise min over the CURRENT files)\n"
+      "against the checked-in BASELINE (BENCH_serve.json). Gated:\n"
+      "per-model cached_p50_ms / cached_p99_ms and burst p50_ms. Fails on\n"
+      "current/baseline > 1 + R (default 0.25, regression) or <\n"
+      "stale-ratio (default 0.65, stale baseline). p99 metrics get\n"
+      "--tail-slack-ms (default 5) of absolute headroom and skip the\n"
+      "stale side. --scale-baseline F multiplies baseline values by F\n"
+      "first (gate self-test hook). --update instead writes the merged\n"
+      "minimum of the CURRENT files to BASELINE (the PASE_UPDATE_BENCH\n"
+      "refresh path in tools/check.sh).\n",
+      argv0, argv0);
+}
+
+bool parse_positive_double(const char* flag, const char* v, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (v[0] == '\0' || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr, "error: invalid value '%s' for %s\n", v, flag);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+std::optional<Json> load_json(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  std::optional<Json> parsed = parse_json(buf.str(), &error);
+  if (!parsed)
+    std::fprintf(stderr, "error: %s: %s\n", path, error.c_str());
+  return parsed;
+}
+
+struct Metric {
+  std::string name;     ///< "models.<m>.<key>" or "burst.<key>"
+  std::string group;    ///< model name, or "" for burst metrics
+  std::string key;      ///< leaf field name
+  double baseline = 0.0;  ///< already scaled
+  bool present = false;   ///< found in at least one CURRENT file
+  double current = 0.0;   ///< min across CURRENT files
+};
+
+/// The gated leaf under one run's JSON, or nullptr.
+const Json* find_leaf(const Json& run, const Metric& m) {
+  const Json* node = nullptr;
+  if (m.group.empty()) {
+    node = run.get("burst");
+  } else {
+    const Json* models = run.get("models");
+    node = models ? models->get(m.group) : nullptr;
+  }
+  const Json* v = node ? node->get(m.key) : nullptr;
+  return v && v->is_number() ? v : nullptr;
+}
+
+void collect(const Json& baseline, double scale,
+             std::vector<Metric>* metrics) {
+  auto add = [&](const std::string& group, const std::string& key,
+                 const Json* leaf) {
+    if (!leaf || !leaf->is_number()) return;
+    Metric m;
+    m.group = group;
+    m.key = key;
+    m.name = group.empty() ? "burst." + key : "models." + group + "." + key;
+    m.baseline = leaf->number * scale;
+    metrics->push_back(std::move(m));
+  };
+  const Json* models = baseline.get("models");
+  if (models && models->is_object()) {
+    for (const auto& [model, entry] : models->object) {
+      add(model, "cached_p50_ms", entry.get("cached_p50_ms"));
+      add(model, "cached_p99_ms", entry.get("cached_p99_ms"));
+    }
+  }
+  const Json* burst = baseline.get("burst");
+  if (burst) add("", "p50_ms", burst->get("p50_ms"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  std::vector<const char*> current_paths;
+  double tolerance = 0.25;
+  double stale_ratio = 0.65;
+  double tail_slack_ms = 5.0;
+  double scale = 1.0;
+  bool update = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char** out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", arg);
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--tolerance") == 0) {
+      if (!value(&v) || !parse_positive_double(arg, v, &tolerance))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--stale-ratio") == 0) {
+      if (!value(&v) || !parse_positive_double(arg, v, &stale_ratio))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--tail-slack-ms") == 0) {
+      if (!value(&v) || !parse_positive_double(arg, v, &tail_slack_ms))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--scale-baseline") == 0) {
+      if (!value(&v) || !parse_positive_double(arg, v, &scale))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--update") == 0) {
+      update = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage(stdout, argv[0]);
+      return kExitPass;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg);
+      print_usage(stderr, argv[0]);
+      return kExitUsage;
+    } else if (!baseline_path) {
+      baseline_path = arg;
+    } else {
+      current_paths.push_back(arg);
+    }
+  }
+  if (!baseline_path || current_paths.empty()) {
+    std::fprintf(stderr,
+                 "error: BASELINE and at least one CURRENT are required\n");
+    print_usage(stderr, argv[0]);
+    return kExitUsage;
+  }
+
+  std::vector<Json> currents;
+  for (const char* path : current_paths) {
+    std::optional<Json> run = load_json(path);
+    if (!run) return kExitUsage;
+    currents.push_back(std::move(*run));
+  }
+
+  // Min calibration across runs (0 = absent somewhere -> no normalizing).
+  double cur_calib = 0.0;
+  for (const Json& run : currents) {
+    const double c = run.get_number("cpu_calib_ms", 0.0);
+    if (c <= 0) {
+      cur_calib = 0.0;
+      break;
+    }
+    if (cur_calib == 0.0 || c < cur_calib) cur_calib = c;
+  }
+
+  if (update) {
+    // Merged baseline: the first run with every gated metric (and the
+    // calibration) replaced by the min across runs.
+    Json merged = currents[0];
+    std::vector<Metric> metrics;
+    collect(merged, 1.0, &metrics);
+    for (Metric& m : metrics) {
+      bool any = false;
+      for (const Json& run : currents) {
+        const Json* leaf = find_leaf(run, m);
+        if (leaf && (!any || leaf->number < m.current)) {
+          m.current = leaf->number;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      Json* node = m.group.empty()
+                       ? &merged.object["burst"]
+                       : &merged.object["models"].object[m.group];
+      node->object[m.key] = Json::make_number(m.current);
+    }
+    if (cur_calib > 0)
+      merged.object["cpu_calib_ms"] = Json::make_number(cur_calib);
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", baseline_path);
+      return kExitUsage;
+    }
+    out << write_json(merged) << "\n";
+    std::fprintf(stderr, "bench_gate: wrote merged baseline (%zu runs) to %s\n",
+                 currents.size(), baseline_path);
+    return kExitPass;
+  }
+
+  const std::optional<Json> baseline = load_json(baseline_path);
+  if (!baseline) return kExitUsage;
+
+  const double base_calib = baseline->get_number("cpu_calib_ms", 0.0);
+  if (base_calib > 0 && cur_calib > 0) {
+    scale *= cur_calib / base_calib;
+    std::fprintf(stderr,
+                 "cpu calibration: baseline %.3f ms, current %.3f ms "
+                 "(baseline scaled %.2fx)\n",
+                 base_calib, cur_calib, cur_calib / base_calib);
+  }
+
+  std::vector<Metric> metrics;
+  collect(*baseline, scale, &metrics);
+  if (metrics.empty()) {
+    std::fprintf(stderr, "error: %s has no gated metrics\n", baseline_path);
+    return kExitUsage;
+  }
+  for (Metric& m : metrics) {
+    for (const Json& run : currents) {
+      const Json* leaf = find_leaf(run, m);
+      if (leaf && (!m.present || leaf->number < m.current)) {
+        m.current = leaf->number;
+        m.present = true;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "%-36s %12s %12s %8s  %s\n", "metric", "base(ms)",
+               "cur(ms)", "ratio", "verdict");
+  pase::i64 failures = 0;
+  for (const Metric& m : metrics) {
+    if (!m.present) {
+      std::fprintf(stderr, "%-36s %12.3f %12s %8s  MISSING\n", m.name.c_str(),
+                   m.baseline, "-", "-");
+      ++failures;
+      continue;
+    }
+    const double ratio = m.baseline > 0 ? m.current / m.baseline : 0.0;
+    const bool tail = m.name.find("p99") != std::string::npos;
+    const char* verdict = "ok";
+    if (ratio > 1.0 + tolerance &&
+        (!tail || m.current > m.baseline + tail_slack_ms)) {
+      verdict = "REGRESSION";
+      ++failures;
+    } else if (!tail && ratio < stale_ratio) {
+      verdict = "STALE (refresh baseline)";
+      ++failures;
+    }
+    std::fprintf(stderr, "%-36s %12.3f %12.3f %8.2f  %s\n", m.name.c_str(),
+                 m.baseline, m.current, ratio, verdict);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_gate: FAIL (%lld of %zu metrics out of band; "
+                 "tolerance=%.2f stale-ratio=%.2f, min over %zu runs)\n",
+                 static_cast<long long>(failures), metrics.size(), tolerance,
+                 stale_ratio, currents.size());
+    return kExitFail;
+  }
+  std::fprintf(stderr,
+               "bench_gate: PASS (%zu metrics within [%.2fx, %.2fx], "
+               "min over %zu runs)\n",
+               metrics.size(), stale_ratio, 1.0 + tolerance, currents.size());
+  return kExitPass;
+}

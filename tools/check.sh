@@ -113,18 +113,39 @@ else
   bad "structural metrics differ between --threads 1 and --threads 8"
 fi
 
+note "Prometheus metrics exposition (--metrics-format prom)"
+expect 0 "prom metrics snapshot" -- \
+  "$ROOT/tools/example_model.pase" --devices 8 \
+  --metrics-out "$OBS_TMP/metrics.prom" --metrics-format prom
+grep -q '^# TYPE pase_dp_cost_cache_misses counter$' "$OBS_TMP/metrics.prom" \
+  || bad "prom snapshot missing pase_dp_cost_cache_misses counter"
+grep -q '_bucket{le="+Inf"}' "$OBS_TMP/metrics.prom" \
+  || bad "prom snapshot missing histogram +Inf bucket"
+# Gauges must come last: no counter/histogram TYPE line after the first
+# gauge TYPE line (the prom analogue of the structural-prefix contract).
+if sed -n '/ gauge$/,$p' "$OBS_TMP/metrics.prom" | \
+     grep -qE ' (counter|histogram)$'; then
+  bad "prom snapshot interleaves counters/histograms after gauges"
+else
+  note "ok prom gauges are emitted last"
+fi
+expect 2 "bad metrics format" -- \
+  "$ROOT/tools/example_model.pase" --devices 8 --metrics-format yaml
+
 note "serve smoke: daemon + loadgen bursts (sanitized binaries)"
 SERVE="$BUILD/tools/pase_serve"
 LOADGEN="$BUILD/tools/pase_loadgen"
 SOCK="$OBS_TMP/serve.sock"
 
-# serve_burst <label> <loadgen-json> <serve args...>: starts the daemon,
-# fires a 60-request mixed burst, requests shutdown, and checks that both
-# sides exit cleanly (loadgen exits 0 only when every response was
-# classified and repeated queries answered byte-identically).
+# serve_burst <label> <loadgen-json> <event-log|""> <serve args...>: starts
+# the daemon, fires a 60-request mixed burst, requests shutdown, and checks
+# that both sides exit cleanly (loadgen exits 0 only when every response
+# was classified, repeated queries answered byte-identically and — when an
+# event log is given — every client-observed response joins a logged server
+# record by seq with a matching code).
 serve_burst() {
-  local label="$1" json="$2"
-  shift 2
+  local label="$1" json="$2" evlog="$3"
+  shift 3
   rm -f "$SOCK"
   "$SERVE" --socket "$SOCK" "$@" > "$OBS_TMP/serve_$label.log" 2>&1 &
   local serve_pid=$!
@@ -134,8 +155,11 @@ serve_burst() {
     sleep 0.1
   done
   [ "$up" -eq 1 ] || { bad "serve $label: daemon never bound $SOCK"; return; }
+  local extra=()
+  [ -n "$evlog" ] && extra=(--log-out "$evlog")
   if "$LOADGEN" --socket "$SOCK" --requests 60 --connections 4 \
        --zoo mlp,alexnet --devices 4,8 --json "$json" --shutdown \
+       ${extra[@]+"${extra[@]}"} \
        > "$OBS_TMP/loadgen_$label.log" 2>&1; then
     note "ok serve $label burst (all responses classified)"
   else
@@ -150,15 +174,36 @@ serve_burst() {
 
 if [ -x "$SERVE" ] && [ -x "$LOADGEN" ]; then
   serve_burst healthy "$OBS_TMP/loadgen_healthy.json" \
-    --workers 2 --deadline-ms 10000
+    "$OBS_TMP/serve_healthy.events.jsonl" \
+    --workers 2 --deadline-ms 10000 \
+    --log-out "$OBS_TMP/serve_healthy.events.jsonl" \
+    --trace-out "$OBS_TMP/serve_healthy.trace.json"
   grep -q '"watchdog_kills":0' "$OBS_TMP/loadgen_healthy.json" 2>/dev/null \
     || bad "healthy serve run reported watchdog kills (or no metrics)"
+  grep -q '"log_mismatches":0' "$OBS_TMP/loadgen_healthy.json" 2>/dev/null \
+    || bad "healthy serve run: event-log cross-check found mismatches"
+  grep -q '"queue_ms"' "$OBS_TMP/serve_healthy.events.jsonl" 2>/dev/null \
+    || bad "healthy event log carries no queue_ms (queue wait not recorded)"
+  # The merged trace must show one request end to end: transport read,
+  # admission, the solve, and the solver's own phase spans.
+  for span in socket_read admission solve table_fill response_write; do
+    grep -q "\"name\":\"$span\"" "$OBS_TMP/serve_healthy.trace.json" \
+      || bad "serve trace missing span: $span"
+  done
   # Fault-injected burst: stalls must be watchdog-killed into `error`
   # responses, poisoned cache entries detected on re-query — and the
-  # daemon must still classify everything and shut down cleanly.
+  # daemon must still classify everything, log every request, and shut
+  # down cleanly.
   serve_burst injected "$OBS_TMP/loadgen_injected.json" \
+    "$OBS_TMP/serve_injected.events.jsonl" \
     --workers 2 --deadline-ms 300 --watchdog-grace-ms 200 \
-    --inject "slow=0.3:0.05,stall=0.05:2,poison=0.2" --seed 7
+    --inject "slow=0.3:0.05,stall=0.05:2,poison=0.2" --seed 7 \
+    --log-out "$OBS_TMP/serve_injected.events.jsonl" \
+    --trace-out "$OBS_TMP/serve_injected.trace.json"
+  grep -q '"log_mismatches":0' "$OBS_TMP/loadgen_injected.json" 2>/dev/null \
+    || bad "injected serve run: event-log cross-check found mismatches"
+  grep -q '"name":"inject_' "$OBS_TMP/serve_injected.trace.json" \
+    || bad "injected serve trace shows no inject_* spans"
 else
   bad "serve smoke: pase_serve / pase_loadgen not built"
 fi
@@ -239,6 +284,76 @@ if [ -f "$COV_BUILD/CMakeCache.txt" ]; then
       bad "line coverage on src/ is $COV_PCT%, below the $COV_FLOOR% floor"
     fi
   fi
+fi
+
+# Perf-regression gate: bench_serve latencies from a *non-sanitized* build
+# (ASan/UBSan inflate latencies several-fold, so the checked-in baseline is
+# only comparable against plain RelWithDebInfo numbers) diffed against
+# BENCH_serve.json by bench_gate. The gated statistic is the element-wise
+# MINIMUM over three fresh bench_serve runs — the minimum prices the
+# code's uncontended cost, so shared-box noise has to land on all three
+# runs before it can move the comparison. Tolerance: 25% on per-model
+# cached-hit p50/p99 and burst p50; a baseline more than ~35% slower than
+# reality is flagged stale. Refresh after an intentional perf change with:
+#   PASE_UPDATE_BENCH=1 tools/check.sh
+# which writes the same min-of-3-runs statistic back to BENCH_serve.json,
+# keeping both sides of the comparison on equal footing.
+BENCH_BUILD="$ROOT/build-bench"
+note "perf gate: configuring non-sanitized bench build in $BENCH_BUILD"
+cmake -B "$BENCH_BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      > "$BENCH_BUILD.configure.log" 2>&1 \
+  || bad "bench cmake configure (see $BENCH_BUILD.configure.log)"
+if [ -f "$BENCH_BUILD/CMakeCache.txt" ]; then
+  note "building bench_serve + bench_gate (-j$JOBS)"
+  cmake --build "$BENCH_BUILD" -j "$JOBS" --target bench_serve bench_gate \
+        > "$BENCH_BUILD.build.log" 2>&1 \
+    || bad "bench build (see $BENCH_BUILD.build.log)"
+fi
+BENCH_SERVE="$BENCH_BUILD/bench/bench_serve"
+BENCH_GATE="$BENCH_BUILD/tools/bench_gate"
+if [ -x "$BENCH_SERVE" ] && [ -x "$BENCH_GATE" ]; then
+  BENCH_RUNS=()
+  BENCH_OK=1
+  for i in 1 2 3; do
+    note "running bench_serve (non-sanitized, run $i of 3)"
+    if "$BENCH_SERVE" > "$OBS_TMP/bench_serve_run$i.json" \
+         2> "$OBS_TMP/bench_serve_run$i.log"; then
+      BENCH_RUNS+=("$OBS_TMP/bench_serve_run$i.json")
+    else
+      bad "bench_serve run $i failed (see $OBS_TMP/bench_serve_run$i.log)"
+      BENCH_OK=0
+      break
+    fi
+  done
+  if [ "$BENCH_OK" = 1 ]; then
+    if [ -n "${PASE_UPDATE_BENCH:-}" ]; then
+      "$BENCH_GATE" --update "$ROOT/BENCH_serve.json" "${BENCH_RUNS[@]}" \
+        || bad "perf gate: baseline refresh failed"
+      note "refreshed BENCH_serve.json (min of 3 runs, PASE_UPDATE_BENCH)"
+    elif "$BENCH_GATE" "$ROOT/BENCH_serve.json" "${BENCH_RUNS[@]}"; then
+      note "ok perf gate (cached-hit p50/p99 + burst p50 within 25%)"
+    else
+      bad "perf gate: serve latencies regressed vs BENCH_serve.json (see \
+table above; PASE_UPDATE_BENCH=1 tools/check.sh to accept a new baseline)"
+    fi
+    # Gate self-test: a baseline inflated 2x must be flagged stale, and a
+    # baseline deflated 2x must read as a regression — both directions of
+    # the two-sided gate must actually fire.
+    if "$BENCH_GATE" --scale-baseline 2 "$ROOT/BENCH_serve.json" \
+         "${BENCH_RUNS[@]}" > /dev/null 2>&1; then
+      bad "perf gate self-test: 2x-inflated baseline was not flagged"
+    else
+      note "ok perf gate self-test (2x baseline trips stale check)"
+    fi
+    if "$BENCH_GATE" --scale-baseline 0.5 "$ROOT/BENCH_serve.json" \
+         "${BENCH_RUNS[@]}" > /dev/null 2>&1; then
+      bad "perf gate self-test: 0.5x-deflated baseline was not flagged"
+    else
+      note "ok perf gate self-test (0.5x baseline trips regression check)"
+    fi
+  fi
+else
+  bad "perf gate: bench_serve / bench_gate not built"
 fi
 
 note "docs gate: README.md vs pase_cli --help"

@@ -79,6 +79,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "usage: %s <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]\n"
       "          [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]\n"
       "          [--trace-out FILE] [--metrics-out FILE]\n"
+      "          [--metrics-format json|prom]\n"
       "          [--deadline SECONDS] [--strict] [--beam-width N]\n"
       "          [--threads N] [--no-cost-cache]\n"
       "          [--comm-model simple|auto|ring|tree|hd|hier]\n"
@@ -93,7 +94,9 @@ void print_usage(std::FILE* out, const char* argv0) {
       "            from --trace, which records the simulated step timeline;\n"
       "            --metrics-out FILE dumps the search metrics snapshot\n"
       "            (counters/histograms/gauges; the counter and histogram\n"
-      "            sections are bit-identical at any --threads setting)\n"
+      "            sections are bit-identical at any --threads setting);\n"
+      "            --metrics-format selects json (default) or prom\n"
+      "            (Prometheus text exposition) for --metrics-out\n"
       "search engine: --threads N worker threads for the DP fan-out\n"
       "            (0 = hardware concurrency, the default; results are\n"
       "            bit-identical at any thread count); --no-cost-cache\n"
@@ -161,6 +164,7 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* trace_out_path = nullptr;
   const char* metrics_out_path = nullptr;
+  bool metrics_prom = false;
   double deadline_seconds = 0.0;
   bool strict = false;
   i64 beam_width = 256;
@@ -205,6 +209,17 @@ int main(int argc, char** argv) {
       if (!value(&trace_out_path)) return kExitUsage;
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       if (!value(&metrics_out_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--metrics-format") == 0) {
+      if (!value(&v)) return kExitUsage;
+      if (std::strcmp(v, "json") == 0) {
+        metrics_prom = false;
+      } else if (std::strcmp(v, "prom") == 0) {
+        metrics_prom = true;
+      } else {
+        std::fprintf(stderr,
+                     "error: --metrics-format must be 'json' or 'prom'\n");
+        return kExitUsage;
+      }
     } else if (std::strcmp(arg, "--deadline") == 0) {
       if (!value(&v) || !parse_double_flag(arg, v, &deadline_seconds))
         return kExitUsage;
@@ -479,7 +494,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", metrics_out_path);
       return kExitRuntime;
     }
-    out << metrics_registry->to_json();
+    if (metrics_prom)
+      out << metrics_registry->to_prometheus();
+    else
+      out << metrics_registry->to_json();
     std::printf("metrics snapshot written to %s (%lld metrics)\n",
                 metrics_out_path,
                 static_cast<long long>(metrics_registry->num_metrics()));

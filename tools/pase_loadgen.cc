@@ -8,15 +8,25 @@
 //   pase_loadgen --socket PATH [--requests N] [--connections N]
 //                [--zoo LIST] [--devices LIST] [--deadline-ms D]
 //                [--retries N] [--backoff-ms D] [--seed S]
-//                [--json FILE] [--shutdown]
+//                [--json FILE] [--log-out FILE] [--shutdown]
 //
 // The request mix is deterministic: request k queries zoo[k % |zoo|] at
 // devices[k % |devices|], so a rerun with the same flags produces the same
 // stream (and, against an uninjected server, the same responses).
 //
+// --log-out FILE arms the event-log cross-check: FILE is the path the
+// daemon is writing its --log-out event log to (flushed per line, so it is
+// readable while the daemon runs). After the burst, every client-observed
+// response — including retried sheds — is joined against the log by the
+// server-assigned "seq" (and its "req<k>" id): the logged code must match
+// the observed code, the logged op/id must match what was sent, the
+// logged total_ms must fit inside the client-measured latency, and no
+// log line may be missing or duplicated. This catches dropped or doubled
+// event lines that per-code totals alone would miss.
+//
 // Exit codes: 0 all requests classified and determinism held, 1 runtime
-// error (connect failure, crash-like disconnect, determinism violation),
-// 2 usage error.
+// error (connect failure, crash-like disconnect, determinism or event-log
+// cross-check violation), 2 usage error.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -54,7 +64,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "usage: %s --socket PATH [--requests N] [--connections N]\n"
       "          [--zoo LIST] [--devices LIST] [--deadline-ms D]\n"
       "          [--retries N] [--backoff-ms D] [--seed S]\n"
-      "          [--json FILE] [--shutdown]\n"
+      "          [--json FILE] [--log-out FILE] [--shutdown]\n"
       "\n"
       "Sends N solve queries (default 200) over C connections (default 4)\n"
       "mixing the comma-separated --zoo models (default mlp,alexnet) and\n"
@@ -62,7 +72,9 @@ void print_usage(std::FILE* out, const char* argv0) {
       "--retries times with --backoff-ms exponential backoff + seeded\n"
       "jitter. Reports per-code counts, qps, latency p50/p99, cache hit\n"
       "rate and a strategy-determinism check; --json writes the report as\n"
-      "JSON; --shutdown stops the server afterwards.\n",
+      "JSON; --log-out FILE cross-checks every observed response against\n"
+      "the daemon's event log at FILE (join by seq/id; catches dropped or\n"
+      "duplicated log lines); --shutdown stops the server afterwards.\n",
       argv0);
 }
 
@@ -173,6 +185,114 @@ struct Shared {
   std::vector<std::string> errors;
 };
 
+/// What one logical request observed, for the --log-out cross-check. Slot
+/// k is written only by the worker that claimed request k (the vector is
+/// pre-sized), so no lock is needed.
+struct ClientRecord {
+  /// Every (server seq, code) this request saw, retried sheds included.
+  std::vector<std::pair<i64, std::string>> attempts;
+  double latency_ms = -1.0;  ///< first send -> final classified response
+};
+
+/// Joins the daemon's event log against the client-observed responses.
+/// Returns the number of mismatches (0 = every attempt matched exactly
+/// one log line and vice versa); fills `checked` with attempts joined.
+u64 cross_check_event_log(const std::string& path,
+                          const std::vector<ClientRecord>& records,
+                          u64* checked, std::vector<std::string>* problems) {
+  u64 mismatches = 0;
+  auto flag = [&](const std::string& what) {
+    ++mismatches;
+    if (problems->size() < 16) problems->push_back(what);
+  };
+
+  std::ifstream in(path);
+  if (!in) {
+    flag("cannot read event log '" + path + "'");
+    return mismatches;
+  }
+
+  // One server record per seq; a duplicated line is itself a violation.
+  struct ServerRecord {
+    std::string op, id, code;
+    double total_ms = 0.0;
+  };
+  std::map<i64, ServerRecord> by_seq;
+  std::string line;
+  i64 lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto parsed = parse_json(line);
+    if (!parsed || !parsed->is_object()) {
+      flag("event log line " + std::to_string(lineno) + ": unparsable");
+      continue;
+    }
+    const Json* seq = parsed->get("seq");
+    if (!seq || !seq->is_number()) {
+      flag("event log line " + std::to_string(lineno) + ": missing seq");
+      continue;
+    }
+    ServerRecord rec;
+    rec.op = parsed->get_string("op");
+    rec.id = parsed->get_string("id");
+    rec.code = parsed->get_string("code");
+    rec.total_ms = parsed->get_number("total_ms", 0.0);
+    const i64 s = static_cast<i64>(seq->number);
+    if (!by_seq.emplace(s, std::move(rec)).second)
+      flag("event log seq " + std::to_string(s) + ": duplicated line");
+  }
+
+  // Every client-observed attempt must have exactly one matching line.
+  for (size_t k = 0; k < records.size(); ++k) {
+    const ClientRecord& rec = records[k];
+    const std::string want_id = "req" + std::to_string(k);
+    for (const auto& [seq, code] : rec.attempts) {
+      ++*checked;
+      const auto it = by_seq.find(seq);
+      if (it == by_seq.end()) {
+        flag(want_id + " seq " + std::to_string(seq) +
+             ": no event-log line (dropped?)");
+        continue;
+      }
+      const ServerRecord& srv = it->second;
+      if (srv.op != "solve")
+        flag(want_id + " seq " + std::to_string(seq) + ": logged op '" +
+             srv.op + "' != solve");
+      if (srv.id != want_id)
+        flag(want_id + " seq " + std::to_string(seq) + ": logged id '" +
+             srv.id + "'");
+      if (srv.code != code)
+        flag(want_id + " seq " + std::to_string(seq) + ": logged code '" +
+             srv.code + "' != observed '" + code + "'");
+      // The server handled this attempt strictly inside the client's
+      // first-send -> final-receive window (same steady clock family);
+      // 1ms slack covers measurement granularity only.
+      if (rec.latency_ms >= 0.0 && srv.total_ms > rec.latency_ms + 1.0)
+        flag(want_id + " seq " + std::to_string(seq) + ": logged total " +
+             std::to_string(srv.total_ms) + "ms exceeds client latency " +
+             std::to_string(rec.latency_ms) + "ms");
+    }
+  }
+
+  // And no solve line for our ids may be unaccounted for (doubled
+  // responses, phantom requests).
+  std::map<i64, u64> claimed;
+  for (const auto& rec : records)
+    for (const auto& [seq, code] : rec.attempts) ++claimed[seq];
+  for (const auto& [seq, srv] : by_seq) {
+    if (srv.op != "solve" || srv.id.rfind("req", 0) != 0) continue;
+    const auto it = claimed.find(seq);
+    if (it == claimed.end())
+      flag("event log seq " + std::to_string(seq) + " (id " + srv.id +
+           "): no client observed it");
+    else if (it->second != 1)
+      flag("event log seq " + std::to_string(seq) + " (id " + srv.id +
+           "): observed " + std::to_string(it->second) + " times");
+  }
+  return mismatches;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +306,7 @@ int main(int argc, char** argv) {
   i64 backoff_ms = 50;
   i64 seed = 1;
   const char* json_path = nullptr;
+  const char* log_path = nullptr;
   bool send_shutdown = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +349,8 @@ int main(int argc, char** argv) {
       if (!value(&v) || !parse_i64_flag(arg, v, 0, &seed)) return kExitUsage;
     } else if (std::strcmp(arg, "--json") == 0) {
       if (!value(&json_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--log-out") == 0) {
+      if (!value(&log_path)) return kExitUsage;
     } else if (std::strcmp(arg, "--shutdown") == 0) {
       send_shutdown = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -261,6 +384,7 @@ int main(int argc, char** argv) {
   }
 
   Shared shared;
+  std::vector<ClientRecord> records(static_cast<size_t>(num_requests));
   std::atomic<i64> next_request{0};
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -308,6 +432,14 @@ int main(int argc, char** argv) {
         code = parsed->get_string("code");
         const std::string cache = parsed->get_string("cache");
         const std::string strategy = parsed->get_string("strategy");
+        {
+          // Slot k belongs to this worker alone.
+          ClientRecord& rec = records[static_cast<size_t>(k)];
+          const Json* seq = parsed->get("seq");
+          rec.attempts.emplace_back(
+              seq && seq->is_number() ? static_cast<i64>(seq->number) : -1,
+              code);
+        }
 
         std::unique_lock<std::mutex> lk(shared.mu);
         if (code == "shed") {
@@ -327,10 +459,11 @@ int main(int argc, char** argv) {
         }
         ++shared.code_counts[code];
         if (!cache.empty()) ++shared.cache_counts[cache];
-        shared.latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - sent)
-                .count());
+        const double latency_ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - sent)
+                                      .count();
+        records[static_cast<size_t>(k)].latency_ms = latency_ms;
+        shared.latencies_ms.push_back(latency_ms);
         if (!strategy.empty()) {
           const auto it = shared.strategies.find(query_key);
           if (it == shared.strategies.end()) {
@@ -380,6 +513,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Event-log cross-check (after the final metrics/shutdown round trip, so
+  // every line the daemon will write for our requests is flushed).
+  u64 log_checked = 0;
+  u64 log_mismatches = 0;
+  std::vector<std::string> log_problems;
+  if (log_path != nullptr)
+    log_mismatches =
+        cross_check_event_log(log_path, records, &log_checked, &log_problems);
+
   u64 classified = 0;
   for (const auto& kv : shared.code_counts) classified += kv.second;
   std::sort(shared.latencies_ms.begin(), shared.latencies_ms.end());
@@ -427,6 +569,13 @@ int main(int argc, char** argv) {
   if (server_watchdog_kills >= 0)
     std::printf("  server: watchdog_kills=%.0f poison_detected=%.0f\n",
                 server_watchdog_kills, server_poison_detected);
+  if (log_path != nullptr) {
+    std::printf("  event log: %llu attempts joined, %llu mismatches\n",
+                static_cast<unsigned long long>(log_checked),
+                static_cast<unsigned long long>(log_mismatches));
+    for (const std::string& p : log_problems)
+      std::printf("  event-log mismatch: %s\n", p.c_str());
+  }
   for (const std::string& e : shared.errors)
     std::printf("  error: %s\n", e.c_str());
 
@@ -461,6 +610,12 @@ int main(int argc, char** argv) {
       report.object["poison_detected"] =
           Json::make_number(server_poison_detected);
     }
+    if (log_path != nullptr) {
+      report.object["log_attempts_checked"] =
+          Json::make_number(static_cast<double>(log_checked));
+      report.object["log_mismatches"] =
+          Json::make_number(static_cast<double>(log_mismatches));
+    }
     std::ofstream out(json_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path);
@@ -470,7 +625,7 @@ int main(int argc, char** argv) {
   }
 
   if (!shared.errors.empty() || shared.determinism_violations > 0 ||
-      classified != static_cast<u64>(num_requests))
+      classified != static_cast<u64>(num_requests) || log_mismatches > 0)
     return kExitRuntime;
   return kExitOk;
 }

@@ -6,7 +6,9 @@
 //              [--queue-depth N] [--deadline-ms D] [--max-deadline-ms D]
 //              [--watchdog-grace-ms D] [--cache-entries N]
 //              [--max-model-nodes N] [--inject SPEC] [--seed S]
-//              [--metrics-out FILE]
+//              [--metrics-out FILE] [--metrics-format json|prom]
+//              [--log-out FILE] [--trace-out FILE] [--slow-trace-ms D]
+//              [--slow-trace-keep N] [--slo-window N]
 //
 // Robustness knobs:
 //   --queue-depth N        admitted solves before requests are shed
@@ -17,6 +19,18 @@
 //   --inject SPEC          seeded fault injection, e.g.
 //                          "slow=0.3:0.05,stall=0.05:2,poison=0.2"
 //                          (see src/serve/inject.h)
+//
+// Observability knobs (DESIGN.md §11):
+//   --log-out FILE         stream the structured event log (one canonical
+//                          JSON line per request, flushed per line)
+//   --trace-out FILE       write the merged per-request Chrome trace on
+//                          shutdown (arms request-scoped tracing)
+//   --slow-trace-ms D      keep traces only for requests slower than D ms
+//                          (slow-request exemplars; ring of
+//                          --slow-trace-keep)
+//   --slo-window N         rolling SLO quantile window (last N solves)
+//   --metrics-format F     json (default) or prom (Prometheus text) for
+//                          --metrics-out
 //
 // SIGINT/SIGTERM or a {"op":"shutdown"} request stop the daemon cleanly;
 // --metrics-out dumps the final serve.* metrics snapshot on exit.
@@ -52,14 +66,23 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--queue-depth N] [--deadline-ms D] [--max-deadline-ms D]\n"
       "          [--watchdog-grace-ms D] [--cache-entries N]\n"
       "          [--max-model-nodes N] [--inject SPEC] [--seed S]\n"
-      "          [--metrics-out FILE]\n"
+      "          [--metrics-out FILE] [--metrics-format json|prom]\n"
+      "          [--log-out FILE] [--trace-out FILE] [--slow-trace-ms D]\n"
+      "          [--slow-trace-keep N] [--slo-window N]\n"
       "\n"
       "Serves strategy queries over line-delimited JSON on a Unix socket\n"
       "(protocol: src/serve/protocol.h). Requests beyond --queue-depth are\n"
       "shed with an explicit response; solves overrunning their deadline\n"
       "degrade to the beam fallback; solves overrunning deadline + grace\n"
       "are killed by the watchdog. --inject arms seeded fault injection\n"
-      "(slow=RATE:SECONDS,stall=RATE:SECONDS,poison=RATE).\n",
+      "(slow=RATE:SECONDS,stall=RATE:SECONDS,poison=RATE).\n"
+      "\n"
+      "Observability: --log-out streams one canonical-JSON event line per\n"
+      "request; --trace-out writes a merged Chrome trace of every request\n"
+      "on shutdown (--slow-trace-ms keeps only slow-request exemplars);\n"
+      "the metrics op reports rolling p50/p95/p99 over --slo-window\n"
+      "solves; --metrics-format selects json or Prometheus text for\n"
+      "--metrics-out.\n",
       argv0);
 }
 
@@ -90,6 +113,8 @@ bool parse_double_flag(const char* flag, const char* v, double* out) {
 int main(int argc, char** argv) {
   std::string socket_path;
   const char* metrics_out_path = nullptr;
+  const char* trace_out_path = nullptr;
+  bool metrics_prom = false;
   ServeOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -146,6 +171,32 @@ int main(int argc, char** argv) {
       options.seed = static_cast<u64>(seed);
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       if (!value(&metrics_out_path)) return kExitUsage;
+    } else if (std::strcmp(arg, "--metrics-format") == 0) {
+      if (!value(&v)) return kExitUsage;
+      if (std::strcmp(v, "json") == 0) {
+        metrics_prom = false;
+      } else if (std::strcmp(v, "prom") == 0) {
+        metrics_prom = true;
+      } else {
+        std::fprintf(stderr,
+                     "error: --metrics-format must be 'json' or 'prom'\n");
+        return kExitUsage;
+      }
+    } else if (std::strcmp(arg, "--log-out") == 0) {
+      if (!value(&v)) return kExitUsage;
+      options.event_log_path = v;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if (!value(&trace_out_path)) return kExitUsage;
+      options.trace = true;
+    } else if (std::strcmp(arg, "--slow-trace-ms") == 0) {
+      if (!value(&v) || !parse_double_flag(arg, v, &options.slow_trace_ms))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--slow-trace-keep") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &options.slow_trace_keep))
+        return kExitUsage;
+    } else if (std::strcmp(arg, "--slo-window") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &options.slo_window))
+        return kExitUsage;
     } else if (std::strcmp(arg, "--help") == 0) {
       print_usage(stdout, argv[0]);
       return kExitOk;
@@ -194,7 +245,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", metrics_out_path);
       return kExitRuntime;
     }
-    out << core.metrics().to_json() << "\n";
+    out << core.metrics_snapshot(metrics_prom);
+    if (!metrics_prom) out << "\n";
+  }
+  if (trace_out_path) {
+    std::ofstream out(trace_out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out_path);
+      return kExitRuntime;
+    }
+    out << core.trace_chrome_json();
+    std::fprintf(stderr, "pase_serve: wrote %llu request traces to %s\n",
+                 static_cast<unsigned long long>(core.traces_kept()),
+                 trace_out_path);
   }
   std::fprintf(stderr, "pase_serve: shut down cleanly (watchdog kills: %llu)\n",
                static_cast<unsigned long long>(core.watchdog_kills()));
