@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure-reproducing benchmark binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -14,6 +15,53 @@
 #include "sim/simulator.h"
 
 namespace pase::bench {
+
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times a fixed single-core *memory-bound* spin (min of `rounds`), in
+/// ms: a pointer-chase over an 8 MB ring plus allocator churn. Two jobs:
+/// it pulls the CPU governor to steady state before anything is measured,
+/// and it prices the machine's current cache/memory-subsystem throughput
+/// — the resource the measured code paths are actually bound by, so
+/// shared-box contention moves this spin and the benchmark numbers
+/// together. tools/bench_gate divides the gated metrics by the
+/// baseline/current calibration ratio, cancelling that drift instead of
+/// tripping its tolerance band. (A pure register spin does NOT work here:
+/// it rides out memory contention untouched while the measured latencies
+/// move 1.5x.)
+inline double calibrate_cpu_ms(int rounds) {
+  constexpr size_t kRing = (8u << 20) / sizeof(u32);
+  std::vector<u32> ring(kRing);
+  // Fixed permutation: visit order is data-dependent, defeating prefetch.
+  u64 x = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < kRing; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    ring[i] = static_cast<u32>(x % kRing);
+  }
+  double best = 0.0;
+  volatile u64 sink = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const double t0 = now_ms();
+    u32 at = static_cast<u32>(r);
+    for (int i = 0; i < 2'000'000; ++i) at = ring[at % kRing];
+    // Allocator churn alongside the chase: response rendering and the
+    // solver's table copies live and die on the heap.
+    for (int i = 0; i < 20'000; ++i) {
+      std::string s(static_cast<size_t>(64 + (i % 512)), 'x');
+      sink = sink + static_cast<u64>(s[static_cast<size_t>(i) % s.size()]);
+    }
+    sink = sink + at;
+    const double ms = now_ms() - t0;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
 
 inline const std::vector<i64>& device_counts() {
   static const std::vector<i64> p = {4, 8, 16, 32, 64};

@@ -14,19 +14,16 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "serve/json.h"
 #include "serve/server.h"
 
 using namespace pase;
 using namespace pase::serve;
+using pase::bench::calibrate_cpu_ms;
+using pase::bench::now_ms;
 
 namespace {
-
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 std::string solve_line(const std::string& zoo, i64 devices) {
   return "{\"op\":\"solve\",\"zoo\":\"" + zoo +
@@ -37,46 +34,6 @@ double percentile(std::vector<double> v, double q) {
   if (v.empty()) return 0.0;
   std::sort(v.begin(), v.end());
   return v[static_cast<size_t>(q * static_cast<double>(v.size() - 1))];
-}
-
-/// Times a fixed single-core *memory-bound* spin (min of `rounds`), in
-/// ms: a pointer-chase over an 8 MB ring plus allocator churn. Two jobs:
-/// it pulls the CPU governor to steady state before anything is measured,
-/// and it prices the machine's current cache/memory-subsystem throughput
-/// — the resource the cached-hit path is actually bound by, so shared-box
-/// contention moves this spin and the serve latencies together.
-/// bench_gate divides the latency metrics by the baseline/current
-/// calibration ratio, cancelling that drift instead of tripping the 25%
-/// band. (A pure register spin does NOT work here: it rides out memory
-/// contention untouched while serve latencies move 1.5x.)
-double calibrate_cpu_ms(int rounds) {
-  constexpr size_t kRing = (8u << 20) / sizeof(u32);
-  std::vector<u32> ring(kRing);
-  // Fixed permutation: visit order is data-dependent, defeating prefetch.
-  u64 x = 0x9e3779b97f4a7c15ull;
-  for (size_t i = 0; i < kRing; ++i) {
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    ring[i] = static_cast<u32>(x % kRing);
-  }
-  double best = 0.0;
-  volatile u64 sink = 0;
-  for (int r = 0; r < rounds; ++r) {
-    const double t0 = now_ms();
-    u32 at = static_cast<u32>(r);
-    for (int i = 0; i < 2'000'000; ++i) at = ring[at % kRing];
-    // Allocator churn alongside the chase: the hit path's copies and
-    // response rendering live and die on the heap.
-    for (int i = 0; i < 20'000; ++i) {
-      std::string s(static_cast<size_t>(64 + (i % 512)), 'x');
-      sink += static_cast<u64>(s[static_cast<size_t>(i) % s.size()]);
-    }
-    sink += at;
-    const double ms = now_ms() - t0;
-    if (r == 0 || ms < best) best = ms;
-  }
-  return best;
 }
 
 }  // namespace

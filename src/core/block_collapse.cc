@@ -1,0 +1,251 @@
+#include "core/block_collapse.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "cost/cost_cache.h"
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace pase {
+
+namespace {
+
+/// Block instances kept in the representative window graph. Needs to be at
+/// least 2 (so an adjacent-block edge exists inside the window) plus enough
+/// slack for the greedy to reach its periodic steady state; certification
+/// catches any window that was too small, so this is a latency knob, not a
+/// correctness one.
+constexpr i64 kWindowBlocks = 4;
+
+/// Longest block period considered. Real repeated blocks are a handful of
+/// layers (a Transformer block is 6 nodes here); the scan is O(n) per
+/// candidate period so the cap bounds detection at O(n * kMaxPeriod).
+constexpr i64 kMaxPeriod = 64;
+
+/// Incident-edge descriptor of a node, id-relative: two nodes with equal
+/// sorted descriptor lists (and equal node classes) are verbatim shifted
+/// copies of each other, wiring included.
+using EdgeDesc = std::tuple<i64 /*other - v*/, bool /*v is src*/,
+                            u32 /*edge class*/>;
+
+std::vector<std::vector<EdgeDesc>> edge_descriptors(const Graph& graph,
+                                                    const CostCache& classes) {
+  std::vector<std::vector<EdgeDesc>> desc(
+      static_cast<size_t>(graph.num_nodes()));
+  for (const Edge& e : graph.edges()) {
+    const u32 cls = classes.edge_class(e.id);
+    desc[static_cast<size_t>(e.src)].emplace_back(
+        static_cast<i64>(e.dst) - e.src, true, cls);
+    desc[static_cast<size_t>(e.dst)].emplace_back(
+        static_cast<i64>(e.src) - e.dst, false, cls);
+  }
+  for (auto& d : desc) std::sort(d.begin(), d.end());
+  return desc;
+}
+
+}  // namespace
+
+BlockPlan detect_blocks(const Graph& graph, const CostCache& classes) {
+  const i64 n = graph.num_nodes();
+  BlockPlan plan;
+  plan.node_class.resize(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v)
+    plan.node_class[static_cast<size_t>(v)] = classes.node_class(v);
+  plan.edge_class.resize(static_cast<size_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e)
+    plan.edge_class[static_cast<size_t>(e)] = classes.edge_class(e);
+
+  const auto desc = edge_descriptors(graph, classes);
+  // shifted(v, pi): node v+pi is a verbatim pi-shifted copy of v.
+  auto shifted = [&](NodeId v, i64 pi) {
+    const NodeId w = v + static_cast<NodeId>(pi);
+    return plan.node_class[static_cast<size_t>(v)] ==
+               plan.node_class[static_cast<size_t>(w)] &&
+           desc[static_cast<size_t>(v)] == desc[static_cast<size_t>(w)];
+  };
+
+  // Best candidate: most covered nodes, then smallest period (a period-2pi
+  // match is always implied by a period-pi one), then smallest start.
+  const i64 max_period = std::min(kMaxPeriod, n / kMinCollapseBlocks);
+  for (i64 pi = 1; pi <= max_period; ++pi) {
+    for (i64 a = 0; a + pi < n;) {
+      if (!shifted(static_cast<NodeId>(a), pi)) {
+        ++a;
+        continue;
+      }
+      i64 b = a;
+      while (b + pi < n && shifted(static_cast<NodeId>(b), pi)) ++b;
+      // Nodes [a, b + pi) are periodic with period pi: (b - a) / pi + 1
+      // complete blocks starting at a.
+      const i64 count = (b - a) / pi + 1;
+      const i64 covered = count * pi;
+      if (count >= kMinCollapseBlocks &&
+          covered > plan.period * plan.count) {
+        plan.period = pi;
+        plan.first = static_cast<NodeId>(a);
+        plan.count = count;
+      }
+      a = b + 1;
+    }
+  }
+  if (!plan.fired()) {
+    plan.period = 0;
+    plan.first = 0;
+    plan.count = 0;
+  }
+  return plan;
+}
+
+Ordering certify_generate_seq(const Graph& graph,
+                              const std::vector<NodeId>& seq) {
+  const i64 n = graph.num_nodes();
+  Ordering out;
+  if (static_cast<i64>(seq.size()) != n) return out;
+
+  // The exact state generate_seq maintains (Fig. 3), with |v.d| kept
+  // incrementally: sizes only change for vertices in the merged set, so a
+  // (size, id)-ordered set gives the greedy's pick — the first strictly
+  // smaller candidate of an id-order scan IS the lexicographic minimum —
+  // in O(log n) instead of an O(n^2/64) popcount sweep.
+  std::vector<Bitset> d(static_cast<size_t>(n));
+  std::vector<i64> size(static_cast<size_t>(n));
+  std::set<std::pair<i64, NodeId>> by_size;
+  for (NodeId v = 0; v < n; ++v) {
+    d[static_cast<size_t>(v)] = graph.neighbor_set(v);
+    const auto& dv = d[static_cast<size_t>(v)];
+    size[static_cast<size_t>(v)] = dv.count() - (dv.test(v) ? 1 : 0);
+    by_size.emplace(size[static_cast<size_t>(v)], v);
+  }
+
+  out.seq.reserve(static_cast<size_t>(n));
+  out.pos.assign(static_cast<size_t>(n), -1);
+  out.dep_sets.resize(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const NodeId best = seq[static_cast<size_t>(i)];
+    if (best < 0 || best >= n ||
+        out.pos[static_cast<size_t>(best)] != -1) {
+      return {};  // not a permutation
+    }
+    // The prescribed vertex must be what the greedy would pick.
+    const auto it = by_size.begin();
+    if (it->first != size[static_cast<size_t>(best)] || it->second != best)
+      return {};
+    by_size.erase(it);
+
+    out.seq.push_back(best);
+    out.pos[static_cast<size_t>(best)] = i;
+    auto& db = d[static_cast<size_t>(best)];
+    db.reset(best);
+    db.for_each([&](i64 v) {
+      out.dep_sets[static_cast<size_t>(i)].push_back(
+          static_cast<NodeId>(v));
+    });
+
+    const Bitset merged = db;
+    merged.for_each([&](i64 v) {
+      auto& dv = d[static_cast<size_t>(v)];
+      dv |= merged;
+      dv.reset(best);
+      const i64 ns = dv.count() - (dv.test(v) ? 1 : 0);
+      if (ns != size[static_cast<size_t>(v)]) {
+        by_size.erase({size[static_cast<size_t>(v)],
+                       static_cast<NodeId>(v)});
+        size[static_cast<size_t>(v)] = ns;
+        by_size.emplace(ns, static_cast<NodeId>(v));
+      }
+    });
+  }
+  return out;
+}
+
+Ordering collapsed_generate_seq(const Graph& graph, const BlockPlan& plan,
+                                CollapseOrderingStats* stats) {
+  const i64 n = graph.num_nodes();
+  if (stats) *stats = {};
+  // Without enough instances beyond the window there is nothing to stitch.
+  if (!plan.fired() || plan.count < kWindowBlocks + 2)
+    return generate_seq(graph);
+
+  const i64 pi = plan.period;
+  const i64 m = plan.count;
+  const NodeId f = plan.first;
+  const i64 cut = f + kWindowBlocks * pi;   // low region: ids < cut
+  const i64 high0 = f + (m - 1) * pi;       // last run-block start
+  const i64 run_end = f + m * pi;
+  const i64 shift = (m - kWindowBlocks) * pi;
+
+  // Representative window graph: prefix + kWindowBlocks block instances +
+  // everything after the run, ids >= high0 remapped down by `shift` (the
+  // last run block's image coincides with window block kWindowBlocks-1, so
+  // its interior edges are dropped — the window copy already has them).
+  auto mu = [&](NodeId x) -> NodeId {
+    if (x < cut) return x;
+    if (x >= high0) return static_cast<NodeId>(x - shift);
+    return kInvalidNode;
+  };
+  Graph window;
+  for (NodeId v = 0; v < n; ++v)
+    if (v < cut || v >= run_end) window.add_node(graph.node(v));
+  for (const Edge& e : graph.edges()) {
+    const bool src_last = e.src >= high0 && e.src < run_end;
+    const bool dst_last = e.dst >= high0 && e.dst < run_end;
+    if (src_last && dst_last) continue;
+    const NodeId s = mu(e.src), t = mu(e.dst);
+    if (s == kInvalidNode || t == kInvalidNode) continue;
+    window.add_edge(s, t, e.shape, e.src_dims, e.dst_dims);
+  }
+  if (stats) {
+    stats->extrapolated = true;
+    stats->window_nodes = window.num_nodes();
+  }
+
+  const Ordering word = generate_seq(window);
+  const i64 wn = window.num_nodes();
+
+  // Locate the last window block (ids [cut - pi, cut)) occupying pi
+  // consecutive positions that mirror the previous block shifted by pi —
+  // the periodic steady state to replicate.
+  i64 t1 = -1;
+  for (i64 t = pi; t + pi <= wn && t1 < 0; ++t) {
+    bool ok = true;
+    for (i64 j = 0; ok && j < pi; ++j) {
+      const NodeId v = word.seq[static_cast<size_t>(t + j)];
+      ok = v >= cut - pi && v < cut &&
+           word.seq[static_cast<size_t>(t - pi + j)] + pi == v;
+    }
+    if (ok) t1 = t;
+  }
+
+  std::vector<NodeId> seq;
+  if (t1 >= 0) {
+    // Stitch: keep the window sequence up to and including the steady-state
+    // block, replay that block shifted by k*pi for every dropped instance,
+    // then the rest of the window sequence — lifting post-run ids back up.
+    seq.reserve(static_cast<size_t>(n));
+    auto lift = [&](NodeId x) {
+      return x < cut ? x : static_cast<NodeId>(x + shift);
+    };
+    for (i64 t = 0; t < t1 + pi; ++t)
+      seq.push_back(lift(word.seq[static_cast<size_t>(t)]));
+    for (i64 k = 1; k <= m - kWindowBlocks; ++k)
+      for (i64 j = 0; j < pi; ++j)
+        seq.push_back(static_cast<NodeId>(
+            word.seq[static_cast<size_t>(t1 + j)] + k * pi));
+    for (i64 t = t1 + pi; t < wn; ++t)
+      seq.push_back(lift(word.seq[static_cast<size_t>(t)]));
+    PASE_CHECK(static_cast<i64>(seq.size()) == n);
+
+    Ordering certified = certify_generate_seq(graph, seq);
+    if (!certified.seq.empty()) {
+      if (stats) stats->certified = true;
+      return certified;
+    }
+  }
+  // No periodic steady state found, or the stitch failed certification:
+  // pay the full greedy. Correctness never depends on the fast path.
+  return generate_seq(graph);
+}
+
+}  // namespace pase

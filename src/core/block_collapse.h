@@ -1,0 +1,93 @@
+// Block collapsing for repeated-structure graphs (ROADMAP item 2, paper
+// §III-C discussion of search cost): real Transformer/GPT stacks repeat one
+// block of layers hundreds of times, and every phase of the DP that walks
+// the whole graph — GenerateSeq above all, whose per-step global min-scan is
+// O(|V|^2) with bitset popcounts — pays for each repeat separately. This
+// module detects maximal runs of structurally identical blocks using the
+// exact layer-equivalence classes the CostCache already computes, solves
+// the ordering problem once on a small representative window, stitches the
+// window's sequence across every repeat by periodicity, and then *certifies*
+// the stitched sequence against GenerateSeq's own greedy invariant — so the
+// returned ordering is bit-identical to generate_seq(graph) by construction,
+// never by hope. The DP solver additionally uses the detected classes to
+// compute node-cost vectors and edge-cost matrices once per class instead of
+// once per vertex (see dp_solver.cc); DESIGN.md §12 gives the full
+// exactness argument.
+//
+// Thread safety: everything here is a pure function of its arguments — no
+// shared mutable state. Concurrent calls are safe.
+#pragma once
+
+#include <vector>
+
+#include "core/ordering.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace pase {
+
+class CostCache;
+
+/// Fewest block instances worth collapsing: below this the window IS the
+/// graph and the machinery is pure overhead.
+constexpr i64 kMinCollapseBlocks = 4;
+
+/// A maximal run of `count` structurally identical blocks of `period`
+/// consecutive node ids starting at node id `first`. Two blocks are
+/// "structurally identical" when every node pair at equal offset is in the
+/// same CostCache equivalence class AND has the same incident-edge
+/// descriptor set (signed neighbor offset, direction, edge class) — i.e.
+/// the second block is a verbatim id-shifted copy of the first, wiring
+/// included. The class arrays cover the whole graph and power the DP
+/// solver's per-class cost memoization even outside the run.
+struct BlockPlan {
+  i64 period = 0;   ///< nodes per block
+  NodeId first = 0; ///< id of the first node of the first block in the run
+  i64 count = 0;    ///< number of complete block instances in the run
+  std::vector<u32> node_class;  ///< per NodeId, from CostCache
+  std::vector<u32> edge_class;  ///< per EdgeId, from CostCache
+
+  /// True when the graph has a run worth collapsing.
+  bool fired() const { return count >= kMinCollapseBlocks; }
+  /// Nodes covered by the run.
+  i64 nodes_covered() const { return period * count; }
+};
+
+/// Detects the best collapsible run of `graph`: the candidate maximizing
+/// covered nodes, ties broken toward the smallest period then the smallest
+/// starting id (deterministic). `classes` must have been built against
+/// `graph`. Always fills the class arrays; `fired()` tells whether a run of
+/// at least kMinCollapseBlocks instances exists.
+BlockPlan detect_blocks(const Graph& graph, const CostCache& classes);
+
+/// How collapsed_generate_seq produced its ordering (diagnostics only).
+struct CollapseOrderingStats {
+  bool extrapolated = false;  ///< window + periodic stitch was attempted
+  bool certified = false;     ///< the stitched sequence passed certification
+  i64 window_nodes = 0;       ///< size of the reduced window graph
+};
+
+/// GenerateSeq through the collapse fast path: builds a reduced graph with
+/// only a small window of block instances (the class representative), runs
+/// the real generate_seq on it, stitches the window's periodic segment
+/// across all `plan.count` instances, and certifies the result (below).
+/// Falls back to generate_seq(graph) whenever the plan did not fire, the
+/// stitch cannot be located, or certification fails — so the returned
+/// ordering (seq, pos and dep_sets) is ALWAYS bit-identical to
+/// generate_seq(graph).
+Ordering collapsed_generate_seq(const Graph& graph, const BlockPlan& plan,
+                                CollapseOrderingStats* stats = nullptr);
+
+/// Certifies that `seq` is exactly the sequence generate_seq(graph) would
+/// emit, by replaying Fig. 3's greedy with incrementally maintained
+/// dependent-set sizes: at every step the prescribed vertex must be the
+/// (size, id)-lexicographic minimum over unsequenced vertices — precisely
+/// the original's first-strictly-smaller scan in id order. O(|V| (d log|V| +
+/// |V|/64)) for max update degree d, against the original's O(|V|^3 / 64).
+/// Returns the complete Ordering (seq, pos, dep_sets — the same Theorem 2
+/// sets generate_seq records) on success, or an empty Ordering (seq.empty())
+/// on any mismatch.
+Ordering certify_generate_seq(const Graph& graph,
+                              const std::vector<NodeId>& seq);
+
+}  // namespace pase

@@ -40,7 +40,10 @@
 
 #include <atomic>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "config/config_enum.h"
@@ -53,6 +56,49 @@ namespace pase {
 
 class MetricsRegistry;
 class TraceSession;
+
+/// Cross-solve context for delta re-solves (docs/SCALING.md, DESIGN.md §12).
+///
+/// Everything the solver computes *before* the DP tables — the vertex
+/// ordering, the per-position dependent sets D(i) and anchor sets S(i), and
+/// the component roots — is a pure function of the graph's ADJACENCY (which
+/// node ids are connected, in which direction) and the ordering kind. It is
+/// completely independent of tensor extents, batch size, device counts,
+/// bandwidths and cost params. A caller that re-solves the same topology
+/// under mutated parameters (the serving daemon after a batch-size change,
+/// the robustness evaluator re-solving per degraded machine) can hand the
+/// same DpContext to every solve: on an adjacency match the solver skips the
+/// ordering and vertex-set phases — the dominant cost at thousand-node scale
+/// — and only refills the (cheap) DP tables. On any mismatch the context is
+/// ignored, so reuse can never change results; the solver verifies the
+/// stored (src, dst) edge list element-for-element rather than trusting a
+/// hash. Thread-safe; solves from any number of threads may share one
+/// context. The stored snapshot is replaced wholesale after a successful
+/// solve of a non-matching graph.
+class DpContext {
+ public:
+  struct Snapshot {
+    OrderingKind kind = OrderingKind::kGenerateSeq;
+    i64 num_nodes = 0;
+    /// Exact (src, dst) per EdgeId — identity, not a hash.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    Ordering order;
+    std::vector<std::vector<NodeId>> dependent;  ///< D(i) per position
+    std::vector<std::vector<i64>> anchors;       ///< S(i) per position
+    std::vector<i64> roots;  ///< component root positions (descending)
+  };
+
+  /// The stored snapshot when it matches (kind, adjacency of `graph`)
+  /// exactly; nullptr otherwise.
+  std::shared_ptr<const Snapshot> match(const Graph& graph,
+                                        OrderingKind kind) const;
+  /// Replaces the stored snapshot.
+  void store(std::shared_ptr<const Snapshot> snap);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> snap_;
+};
 
 struct DpOptions {
   ConfigOptions config_options;
@@ -108,6 +154,25 @@ struct DpOptions {
   /// pure). Must outlive the call.
   CostCache* shared_cost_cache = nullptr;
 
+  /// Block collapsing for repeated-structure graphs (core/block_collapse.h,
+  /// docs/SCALING.md): detect maximal runs of structurally identical blocks,
+  /// run GenerateSeq on a small representative window, stitch + certify the
+  /// full ordering, and reuse per-class node-cost vectors and edge-cost
+  /// matrices across same-class vertices. Results are ALWAYS bit-identical
+  /// to collapse_blocks = false — the stitched ordering is certified against
+  /// the greedy's own invariant (falling back to the full GenerateSeq on any
+  /// mismatch) and class reuse is verified against each vertex's actual
+  /// configuration list. Off by default; pase_cli --collapse-blocks and the
+  /// serving daemon enable it.
+  bool collapse_blocks = false;
+
+  /// Optional cross-solve context for delta re-solves (see DpContext). When
+  /// non-null and its snapshot matches this graph's adjacency + ordering
+  /// kind, the ordering/vertex-set/root phases are skipped and only the DP
+  /// tables are refilled; on a successful solve of a non-matching graph the
+  /// snapshot is replaced. Never changes results. Must outlive the call.
+  DpContext* context = nullptr;
+
   /// Optional observability sinks (src/obs); either or both may be null.
   /// `trace` records phase and per-vertex spans (ordering, dep_sets,
   /// table_fill, back_substitution, worker task spans); `metrics` collects
@@ -156,6 +221,18 @@ struct DpResult {
   /// Cost-cache statistics (both zero when the cache is disabled).
   u64 cost_cache_hits = 0;
   u64 cost_cache_misses = 0;
+
+  // Block-collapse and delta-re-solve diagnostics (docs/SCALING.md). All
+  // structural: identical at every thread count.
+  bool collapse_fired = false;  ///< a run of >= kMinCollapseBlocks detected
+  i64 collapse_period = 0;      ///< nodes per detected block
+  i64 collapse_blocks = 0;      ///< detected block instances
+  /// The ordering came from the window + stitch fast path and passed
+  /// certification (false also when the fast path fell back to the full
+  /// GenerateSeq — the result is bit-identical either way).
+  bool collapse_ordering_extrapolated = false;
+  /// Ordering/vertex sets/roots were reused from DpOptions::context.
+  bool reused_tables = false;
 };
 
 /// Stable wire name for a trip cause ("table_guard", "deadline", ...;

@@ -45,4 +45,33 @@ RobustnessReport evaluate_robustness(const Graph& graph,
   return report;
 }
 
+RobustnessReport evaluate_robustness_with_resolve(
+    const Graph& graph, const MachineSpec& healthy, const Strategy& phi,
+    const FaultModel& model, const DpOptions& solve_options,
+    DpContext* context, i64 num_scenarios, CommModelKind comm_kind) {
+  RobustnessReport report = evaluate_robustness(graph, healthy, phi, model,
+                                                num_scenarios, comm_kind);
+
+  // Re-solve against the machine the faults actually left us with. The
+  // graph adjacency is unchanged, so a shared DpContext turns this into a
+  // delta re-solve (ordering/vertex sets reused, tables refilled under the
+  // degraded cost params).
+  const MachineSpec degraded_machine = model.perturb(healthy);
+  DpOptions options = solve_options;
+  options.cost_params = CostParams::for_machine(degraded_machine, comm_kind);
+  options.context = context;
+  const DpResult result = find_best_strategy(graph, options);
+
+  report.resolved = true;
+  report.resolve_status = result.status;
+  report.resolve_reused_tables = result.reused_tables;
+  report.resolve_seconds = result.elapsed_seconds;
+  if (result.status == DpStatus::kOk || result.status == DpStatus::kDegraded) {
+    report.resolve_strategy = result.strategy;
+    const Simulator degraded_sim(graph, degraded_machine, comm_kind);
+    report.resolve_degraded = degraded_sim.simulate(result.strategy);
+  }
+  return report;
+}
+
 }  // namespace pase

@@ -4,6 +4,7 @@
 // (Billion-Word) and Transformer (WMT EN->DE).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,25 @@ Graph gnmt(i64 batch = 64, i64 seq_len = 40, i64 embed = 1024,
 
 /// Small multi-layer perceptron (FC chain) for tests and the quickstart.
 Graph mlp(i64 batch, const std::vector<i64>& widths);
+
+/// Generated decoder-only transformer stack (GPT-style): `blocks` identical
+/// pre-norm blocks (LN -> attention -> residual, LN -> feed-forward ->
+/// residual; 6 nodes each) between an embedding head and an
+/// LN/projection/softmax tail. Every block is structurally identical, the
+/// workload block collapsing (docs/SCALING.md) is built for; N up to 1000
+/// and beyond is supported. Defaults keep per-node work small so graph size,
+/// not per-vertex cost, dominates search time.
+Graph transformer_stack(i64 blocks, i64 batch = 8, i64 seq_len = 64,
+                        i64 d_model = 256, i64 heads = 4, i64 d_ff = 1024,
+                        i64 vocab = 8192);
+
+/// Builds a zoo model by name: the builders above with their default
+/// shapes ("alexnet", "transformer", "mlp", ...), plus the generated
+/// repeated-block family "transformer_stack_<N>" for N in [1, 100000]
+/// (e.g. "transformer_stack_1000"). Returns nullopt for unknown names.
+/// This is the lookup behind the strategy service's `zoo` request field
+/// and pase_cli's --zoo flag.
+std::optional<Graph> zoo_graph(const std::string& name);
 
 /// A named benchmark graph.
 struct Benchmark {

@@ -1,0 +1,308 @@
+// Block collapsing + delta re-solve (DESIGN.md §12, docs/SCALING.md).
+// The contract under test is bit-identity: every fast path — collapsed
+// ordering, per-class cost memoization, context reuse — must produce
+// exactly the result the plain solver produces, not an approximation.
+#include <gtest/gtest.h>
+
+#include "core/block_collapse.h"
+#include "core/dp_solver.h"
+#include "core/ordering.h"
+#include "cost/cost_cache.h"
+#include "models/models.h"
+#include "ops/ops.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace pase {
+namespace {
+
+DpOptions options_for(i64 p, bool collapse = false) {
+  DpOptions opt;
+  opt.config_options.max_devices = p;
+  opt.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(p));
+  opt.collapse_blocks = collapse;
+  return opt;
+}
+
+/// Strategy AND cost must be exactly equal — the collapse/reuse contract
+/// is bit-identity, so no EXPECT_NEAR anywhere in this file.
+void expect_same_result(const DpResult& a, const DpResult& b) {
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.strategy, b.strategy);
+}
+
+void expect_same_ordering(const Ordering& a, const Ordering& b) {
+  ASSERT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.pos, b.pos);
+  ASSERT_EQ(a.dep_sets.size(), b.dep_sets.size());
+  for (size_t i = 0; i < a.dep_sets.size(); ++i)
+    EXPECT_TRUE(a.dep_sets[i] == b.dep_sets[i]) << "dep_sets[" << i << "]";
+}
+
+/// A seeded random repeated-block chain: one block of `period` FC nodes
+/// with random (but per-offset fixed) dims, instantiated `repeats` times;
+/// consecutive blocks wired tail -> head, plus an intra-block skip edge so
+/// blocks are not plain paths. Every copy is a verbatim id-shifted clone
+/// of the first, which is precisely what detect_blocks looks for.
+Graph repeated_block_graph(i64 period, i64 repeats, u64 seed) {
+  Rng rng(seed);
+  static const i64 sizes[] = {8, 16, 32, 64};
+  std::vector<i64> width(static_cast<size_t>(period) + 1);
+  for (i64& w : width) w = sizes[rng.uniform(4)];
+  const i64 batch = sizes[rng.uniform(4)];
+  Graph g;
+  NodeId prev = kInvalidNode;
+  for (i64 r = 0; r < repeats; ++r) {
+    NodeId block_head = kInvalidNode;
+    for (i64 j = 0; j < period; ++j) {
+      const NodeId fc = g.add_node(ops::fully_connected(
+          "B" + std::to_string(r) + "_" + std::to_string(j), batch,
+          width[static_cast<size_t>(j) + 1], width[static_cast<size_t>(j)]));
+      if (prev != kInvalidNode)
+        g.add_edge_named(prev, fc, {"b", "n"}, {"b", "c"});
+      if (j == 0) block_head = fc;
+      if (j == period - 1 && period >= 3)
+        g.add_edge_named(block_head, fc, {"b", "n"}, {"b", "c"});
+      prev = fc;
+    }
+  }
+  g.validate();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Detection
+
+TEST(BlockCollapse, DetectsTransformerStackRun) {
+  const Graph g = models::transformer_stack(12);
+  const CostCache classes(g);
+  const BlockPlan plan = detect_blocks(g, classes);
+  ASSERT_TRUE(plan.fired());
+  // 6 nodes per decoder block; the embedding head keeps the first block
+  // from absorbing node 0, and the run spans every remaining block.
+  EXPECT_EQ(plan.period, 6);
+  EXPECT_EQ(plan.count, 11);
+  EXPECT_EQ(plan.node_class.size(), static_cast<size_t>(g.num_nodes()));
+}
+
+TEST(BlockCollapse, DetectsPeriodOneRunInUniformChain) {
+  // Identical FC layers chained: the degenerate block of one node.
+  const Graph g = repeated_block_graph(/*period=*/1, /*repeats=*/8,
+                                       /*seed=*/3);
+  const BlockPlan plan = detect_blocks(g, CostCache(g));
+  ASSERT_TRUE(plan.fired());
+  EXPECT_EQ(plan.period, 1);
+  EXPECT_GE(plan.count, 6);
+}
+
+TEST(BlockCollapse, DoesNotFireOnIrregularGraphs) {
+  // AlexNet's layers all differ; a random graph has no periodic wiring.
+  EXPECT_FALSE(
+      detect_blocks(models::alexnet(), CostCache(models::alexnet()))
+          .fired());
+  const Graph rnd = testing::random_graph(14, 4, 11);
+  EXPECT_FALSE(detect_blocks(rnd, CostCache(rnd)).fired());
+}
+
+// ---------------------------------------------------------------------------
+// Ordering: extrapolation + certification == generate_seq, bit for bit
+
+TEST(BlockCollapse, ExtrapolatedOrderingMatchesGenerateSeqAcrossSizes) {
+  for (const i64 n : {4, 5, 6, 8, 12, 16, 24, 40, 64}) {
+    const Graph g = models::transformer_stack(n);
+    const BlockPlan plan = detect_blocks(g, CostCache(g));
+    CollapseOrderingStats stats;
+    const Ordering fast = collapsed_generate_seq(g, plan, &stats);
+    const Ordering full = generate_seq(g);
+    SCOPED_TRACE("N=" + std::to_string(n));
+    expect_same_ordering(fast, full);
+    // Big stacks must actually take the window fast path (small ones may
+    // legitimately fall back — the window would be the whole graph).
+    if (n >= 16) {
+      EXPECT_TRUE(stats.extrapolated);
+      EXPECT_TRUE(stats.certified);
+      EXPECT_LT(stats.window_nodes, g.num_nodes());
+    }
+  }
+}
+
+TEST(BlockCollapse, ExtrapolatedOrderingMatchesOnRandomRepeatedBlocks) {
+  for (const u64 seed : {1ull, 2ull, 5ull, 9ull}) {
+    const Graph g = repeated_block_graph(/*period=*/3, /*repeats=*/9, seed);
+    const BlockPlan plan = detect_blocks(g, CostCache(g));
+    EXPECT_TRUE(plan.fired()) << "seed " << seed;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    expect_same_ordering(collapsed_generate_seq(g, plan), generate_seq(g));
+  }
+}
+
+TEST(BlockCollapse, CertifierAcceptsRealSequenceRejectsTampered) {
+  const Graph g = models::transformer_stack(8);
+  const Ordering real = generate_seq(g);
+  const Ordering certified = certify_generate_seq(g, real.seq);
+  ASSERT_FALSE(certified.seq.empty());
+  expect_same_ordering(certified, real);
+  // Any deviation from the greedy's lexicographic choice must be refused.
+  std::vector<NodeId> tampered = real.seq;
+  std::swap(tampered[10], tampered[20]);
+  EXPECT_TRUE(certify_generate_seq(g, tampered).seq.empty());
+  tampered = real.seq;
+  tampered.pop_back();
+  EXPECT_TRUE(certify_generate_seq(g, tampered).seq.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Full solve: collapsed == cold on repeated-structure and zoo graphs
+
+TEST(BlockCollapse, SolveBitIdenticalOnTransformerStack) {
+  const Graph g = models::transformer_stack(16);
+  const DpResult cold = find_best_strategy(g, options_for(4));
+  const DpResult fast = find_best_strategy(g, options_for(4, true));
+  ASSERT_EQ(cold.status, DpStatus::kOk);
+  EXPECT_TRUE(fast.collapse_fired);
+  EXPECT_EQ(fast.collapse_period, 6);
+  expect_same_result(cold, fast);
+}
+
+TEST(BlockCollapse, SolveBitIdenticalOnSeededRepeatedBlockGraphs) {
+  for (const u64 seed : {1ull, 4ull, 7ull}) {
+    const Graph g = repeated_block_graph(/*period=*/2, /*repeats=*/7, seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    expect_same_result(find_best_strategy(g, options_for(4)),
+                       find_best_strategy(g, options_for(4, true)));
+  }
+}
+
+TEST(BlockCollapse, SolveUnchangedWhenCollapseCannotFire) {
+  // Graphs with nothing to collapse must get the exact cold behavior.
+  for (const char* name : {"alexnet", "mlp"}) {
+    const Graph g = *models::zoo_graph(name);
+    SCOPED_TRACE(name);
+    const DpResult fast = find_best_strategy(g, options_for(4, true));
+    EXPECT_FALSE(fast.collapse_fired);
+    expect_same_result(find_best_strategy(g, options_for(4)), fast);
+  }
+}
+
+/// The tentpole's proof-by-test across the whole zoo. "Golden" in the name
+/// routes it to the `slow` ctest label (tests/CMakeLists.txt): it solves
+/// every zoo model twice.
+TEST(BlockCollapseGolden, SolveBitIdenticalAcrossZoo) {
+  const char* kZoo[] = {"alexnet",  "inception_v3", "rnnlm",
+                        "transformer", "densenet",  "resnet50",
+                        "vgg16",    "mobilenet_v1", "gnmt",
+                        "mlp",      "transformer_stack_24"};
+  for (const char* name : kZoo) {
+    const Graph g = *models::zoo_graph(name);
+    SCOPED_TRACE(name);
+    expect_same_result(find_best_strategy(g, options_for(4)),
+                       find_best_strategy(g, options_for(4, true)));
+  }
+}
+
+TEST(BlockCollapse, DeterministicAcrossThreadCounts) {
+  const Graph g = models::transformer_stack(16);
+  DpResult base;
+  for (const i64 threads : {1, 4, 8}) {
+    DpOptions opt = options_for(4, true);
+    opt.num_threads = threads;
+    const DpResult r = find_best_strategy(g, opt);
+    ASSERT_EQ(r.status, DpStatus::kOk);
+    EXPECT_TRUE(r.collapse_fired);
+    if (threads == 1)
+      base = r;
+    else
+      expect_same_result(base, r);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta re-solve: context reuse == cold solve after each supported mutation
+
+TEST(DeltaReSolve, EqualsColdAfterBatchMutation) {
+  DpContext context;
+  DpOptions with_context = options_for(4, true);
+  with_context.context = &context;
+  // Prime: the solve stores its ordering/vertex sets in the context.
+  const DpResult primed =
+      find_best_strategy(models::transformer_stack(8), with_context);
+  ASSERT_EQ(primed.status, DpStatus::kOk);
+  EXPECT_FALSE(primed.reused_tables);
+  // Batch 8 -> 16 changes every extent but no adjacency: delta fires.
+  const Graph mutated = models::transformer_stack(8, /*batch=*/16);
+  const DpResult delta = find_best_strategy(mutated, with_context);
+  EXPECT_TRUE(delta.reused_tables);
+  expect_same_result(find_best_strategy(mutated, options_for(4, true)),
+                     delta);
+}
+
+TEST(DeltaReSolve, EqualsColdAfterDeviceCountMutation) {
+  const Graph g = models::transformer_stack(8);
+  DpContext context;
+  DpOptions with_context = options_for(4, true);
+  with_context.context = &context;
+  ASSERT_EQ(find_best_strategy(g, with_context).status, DpStatus::kOk);
+  // p 4 -> 8 changes the configuration space, not the graph.
+  DpOptions p8 = options_for(8, true);
+  p8.context = &context;
+  const DpResult delta = find_best_strategy(g, p8);
+  EXPECT_TRUE(delta.reused_tables);
+  expect_same_result(find_best_strategy(g, options_for(8, true)), delta);
+}
+
+TEST(DeltaReSolve, EqualsColdAfterBandwidthMutation) {
+  const Graph g = models::transformer_stack(8);
+  DpContext context;
+  DpOptions with_context = options_for(4, true);
+  with_context.context = &context;
+  ASSERT_EQ(find_best_strategy(g, with_context).status, DpStatus::kOk);
+  // New machine: different link bandwidths/compute, same graph.
+  DpOptions slow_links = with_context;
+  slow_links.cost_params =
+      CostParams::for_machine(MachineSpec::rtx2080ti(4));
+  const DpResult delta = find_best_strategy(g, slow_links);
+  EXPECT_TRUE(delta.reused_tables);
+  DpOptions cold = options_for(4, true);
+  cold.cost_params = CostParams::for_machine(MachineSpec::rtx2080ti(4));
+  expect_same_result(find_best_strategy(g, cold), delta);
+}
+
+TEST(DeltaReSolve, AdjacencyChangeInvalidatesContext) {
+  DpContext context;
+  DpOptions with_context = options_for(4, true);
+  with_context.context = &context;
+  ASSERT_EQ(find_best_strategy(models::transformer_stack(8), with_context)
+                .status,
+            DpStatus::kOk);
+  // One more block: different adjacency, so the snapshot must NOT be
+  // trusted — and the fresh solve replaces it.
+  const Graph bigger = models::transformer_stack(9);
+  const DpResult miss = find_best_strategy(bigger, with_context);
+  EXPECT_FALSE(miss.reused_tables);
+  expect_same_result(find_best_strategy(bigger, options_for(4, true)), miss);
+  // The replacement snapshot serves the new graph.
+  EXPECT_TRUE(find_best_strategy(bigger, with_context).reused_tables);
+}
+
+TEST(DeltaReSolve, DeterministicAcrossThreadCounts) {
+  const Graph g = models::transformer_stack(8);
+  const Graph mutated = models::transformer_stack(8, /*batch=*/16);
+  DpResult base;
+  for (const i64 threads : {1, 4, 8}) {
+    DpContext context;
+    DpOptions opt = options_for(4, true);
+    opt.context = &context;
+    opt.num_threads = threads;
+    ASSERT_EQ(find_best_strategy(g, opt).status, DpStatus::kOk);
+    const DpResult delta = find_best_strategy(mutated, opt);
+    EXPECT_TRUE(delta.reused_tables);
+    if (threads == 1)
+      base = delta;
+    else
+      expect_same_result(base, delta);
+  }
+}
+
+}  // namespace
+}  // namespace pase

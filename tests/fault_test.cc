@@ -225,5 +225,55 @@ TEST(FaultModel, JitterIsCenteredOnDegradedTime) {
               0.1 * rep.degraded.step_time_s);
 }
 
+// ---- Degraded-machine re-solve (docs/SCALING.md delta path).
+
+TEST(FaultModel, ResolveAdaptsToDegradedMachineViaDeltaReSolve) {
+  const Graph g = models::alexnet();
+  const MachineSpec healthy = MachineSpec::gtx1080ti(8);
+  DpOptions options;
+  options.config_options.max_devices = 8;
+  options.cost_params = CostParams::for_machine(healthy);
+  // Healthy solve primes the context the re-solve will reuse.
+  DpContext context;
+  options.context = &context;
+  const DpResult best = find_best_strategy(g, options);
+  ASSERT_EQ(best.status, DpStatus::kOk);
+
+  const FaultModel model(must_parse("links=0.25:0.5,straggler=0:2"), 5);
+  const RobustnessReport rep = evaluate_robustness_with_resolve(
+      g, healthy, best.strategy, model, options, &context, 8);
+  ASSERT_TRUE(rep.resolved);
+  EXPECT_EQ(rep.resolve_status, DpStatus::kOk);
+  EXPECT_TRUE(rep.resolve_reused_tables);  // same adjacency: delta path
+
+  // The adapted strategy must be exactly what a direct solve against the
+  // degraded machine finds — context reuse never changes answers.
+  DpOptions degraded_options = options;
+  degraded_options.context = nullptr;
+  degraded_options.cost_params =
+      CostParams::for_machine(model.perturb(healthy));
+  const DpResult direct = find_best_strategy(g, degraded_options);
+  EXPECT_EQ(rep.resolve_strategy, direct.strategy);
+
+  // Adapting can only help (or tie): gain is a ratio >= ~1.
+  EXPECT_GT(rep.adaptation_gain(), 0.0);
+  EXPECT_GE(rep.adaptation_gain(), 0.999);
+}
+
+TEST(FaultModel, ResolveWorksWithoutContext) {
+  const Graph g = models::alexnet();
+  const MachineSpec healthy = MachineSpec::gtx1080ti(8);
+  DpOptions options;
+  options.config_options.max_devices = 8;
+  options.cost_params = CostParams::for_machine(healthy);
+  const DpResult best = find_best_strategy(g, options);
+  const FaultModel model(must_parse("links=0.5:1"), 5);
+  const RobustnessReport rep = evaluate_robustness_with_resolve(
+      g, healthy, best.strategy, model, options, /*context=*/nullptr, 8);
+  ASSERT_TRUE(rep.resolved);
+  EXPECT_EQ(rep.resolve_status, DpStatus::kOk);
+  EXPECT_FALSE(rep.resolve_reused_tables);  // cold: nothing to reuse
+}
+
 }  // namespace
 }  // namespace pase

@@ -1,16 +1,22 @@
-// bench_gate — the serve-path perf-regression gate (DESIGN.md §11).
+// bench_gate — the benchmark perf-regression gate (DESIGN.md §11).
 //
 //   bench_gate BASELINE CURRENT... [--tolerance R] [--stale-ratio S]
 //              [--tail-slack-ms MS] [--scale-baseline F]
 //   bench_gate --update BASELINE CURRENT...
 //
-// Compares fresh bench_serve runs (one or more CURRENT files) against the
-// checked-in baseline (BENCH_serve.json). Gated metrics: every per-model
-// `cached_p50_ms` and `cached_p99_ms` under "models", plus the burst
-// `p50_ms`. Cold-solve times and the burst p99 are NOT gated: cold times
-// are dominated by one-off allocation noise, and the burst p99 lands on
-// whichever cold solve was slowest — the cached-hit distribution is what
-// the serve SLO promises.
+// Compares fresh bench runs (one or more CURRENT files) against a
+// checked-in baseline. Two baseline schemas:
+//
+//   - self-describing (BENCH_table1.json): the baseline carries a
+//     top-level "gated" array of dotted metric paths ("section.key" or
+//     "section.group.key"); exactly those numeric leaves are gated, so a
+//     new bench binary adds gated fields without touching this tool;
+//   - legacy bench_serve (BENCH_serve.json): every per-model
+//     `cached_p50_ms` and `cached_p99_ms` under "models", plus the burst
+//     `p50_ms`. Cold-solve times and the burst p99 are NOT gated: cold
+//     times are dominated by one-off allocation noise, and the burst p99
+//     lands on whichever cold solve was slowest — the cached-hit
+//     distribution is what the serve SLO promises.
 //
 // Statistic: the element-wise MINIMUM across the CURRENT files. The
 // minimum over repeated runs prices the code's uncontended cost — the
@@ -72,9 +78,11 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--tail-slack-ms MS] [--scale-baseline F]\n"
       "       %s --update BASELINE CURRENT...\n"
       "\n"
-      "Diffs bench_serve runs (element-wise min over the CURRENT files)\n"
-      "against the checked-in BASELINE (BENCH_serve.json). Gated:\n"
-      "per-model cached_p50_ms / cached_p99_ms and burst p50_ms. Fails on\n"
+      "Diffs bench runs (element-wise min over the CURRENT files) against\n"
+      "the checked-in BASELINE. Gated: the baseline's top-level \"gated\"\n"
+      "path list when present (BENCH_table1.json), else the bench_serve\n"
+      "schema — per-model cached_p50_ms / cached_p99_ms and burst p50_ms\n"
+      "(BENCH_serve.json). Fails on\n"
       "current/baseline > 1 + R (default 0.25, regression) or <\n"
       "stale-ratio (default 0.65, stale baseline). p99 metrics get\n"
       "--tail-slack-ms (default 5) of absolute headroom and skip the\n"
@@ -112,8 +120,9 @@ std::optional<Json> load_json(const char* path) {
 }
 
 struct Metric {
-  std::string name;     ///< "models.<m>.<key>" or "burst.<key>"
-  std::string group;    ///< model name, or "" for burst metrics
+  std::string name;     ///< dotted path, e.g. "models.<m>.<key>"
+  std::string section;  ///< top-level object ("models", "burst", ...)
+  std::string group;    ///< second level, or "" for two-part paths
   std::string key;      ///< leaf field name
   double baseline = 0.0;  ///< already scaled
   bool present = false;   ///< found in at least one CURRENT file
@@ -122,23 +131,64 @@ struct Metric {
 
 /// The gated leaf under one run's JSON, or nullptr.
 const Json* find_leaf(const Json& run, const Metric& m) {
-  const Json* node = nullptr;
-  if (m.group.empty()) {
-    node = run.get("burst");
-  } else {
-    const Json* models = run.get("models");
-    node = models ? models->get(m.group) : nullptr;
-  }
+  const Json* node = run.get(m.section);
+  if (!m.group.empty()) node = node ? node->get(m.group) : nullptr;
   const Json* v = node ? node->get(m.key) : nullptr;
   return v && v->is_number() ? v : nullptr;
 }
 
-void collect(const Json& baseline, double scale,
+/// Fills the gated metric list from the baseline. Two schemas:
+///   - self-describing: a top-level "gated" array of dotted paths
+///     ("section.key" or "section.group.key"); BENCH_table1.json uses
+///     this, so new benches gate new fields without touching this tool;
+///   - legacy bench_serve: per-model cached_p50_ms/cached_p99_ms under
+///     "models" plus the burst p50_ms.
+/// Returns false if a "gated" path is malformed or missing from the
+/// baseline (a renamed field must come with a baseline refresh).
+bool collect(const Json& baseline, double scale,
              std::vector<Metric>* metrics) {
+  const Json* gated = baseline.get("gated");
+  if (gated && gated->is_array()) {
+    for (const Json& entry : gated->array) {
+      if (!entry.is_string()) {
+        std::fprintf(stderr, "error: non-string entry in \"gated\"\n");
+        return false;
+      }
+      Metric m;
+      m.name = entry.string;
+      const size_t dot1 = m.name.find('.');
+      const size_t dot2 =
+          dot1 == std::string::npos ? dot1 : m.name.find('.', dot1 + 1);
+      if (dot1 == std::string::npos) {
+        std::fprintf(stderr, "error: gated path '%s' has no '.'\n",
+                     m.name.c_str());
+        return false;
+      }
+      m.section = m.name.substr(0, dot1);
+      if (dot2 == std::string::npos) {
+        m.key = m.name.substr(dot1 + 1);
+      } else {
+        m.group = m.name.substr(dot1 + 1, dot2 - dot1 - 1);
+        m.key = m.name.substr(dot2 + 1);
+      }
+      const Json* leaf = find_leaf(baseline, m);
+      if (!leaf) {
+        std::fprintf(stderr,
+                     "error: gated path '%s' is not a number in the "
+                     "baseline\n",
+                     m.name.c_str());
+        return false;
+      }
+      m.baseline = leaf->number * scale;
+      metrics->push_back(std::move(m));
+    }
+    return true;
+  }
   auto add = [&](const std::string& group, const std::string& key,
                  const Json* leaf) {
     if (!leaf || !leaf->is_number()) return;
     Metric m;
+    m.section = group.empty() ? "burst" : "models";
     m.group = group;
     m.key = key;
     m.name = group.empty() ? "burst." + key : "models." + group + "." + key;
@@ -154,6 +204,7 @@ void collect(const Json& baseline, double scale,
   }
   const Json* burst = baseline.get("burst");
   if (burst) add("", "p50_ms", burst->get("p50_ms"));
+  return true;
 }
 
 }  // namespace
@@ -235,7 +286,7 @@ int main(int argc, char** argv) {
     // calibration) replaced by the min across runs.
     Json merged = currents[0];
     std::vector<Metric> metrics;
-    collect(merged, 1.0, &metrics);
+    if (!collect(merged, 1.0, &metrics)) return kExitUsage;
     for (Metric& m : metrics) {
       bool any = false;
       for (const Json& run : currents) {
@@ -246,9 +297,8 @@ int main(int argc, char** argv) {
         }
       }
       if (!any) continue;
-      Json* node = m.group.empty()
-                       ? &merged.object["burst"]
-                       : &merged.object["models"].object[m.group];
+      Json* node = &merged.object[m.section];
+      if (!m.group.empty()) node = &node->object[m.group];
       node->object[m.key] = Json::make_number(m.current);
     }
     if (cur_calib > 0)
@@ -277,7 +327,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Metric> metrics;
-  collect(*baseline, scale, &metrics);
+  if (!collect(*baseline, scale, &metrics)) return kExitUsage;
   if (metrics.empty()) {
     std::fprintf(stderr, "error: %s has no gated metrics\n", baseline_path);
     return kExitUsage;

@@ -356,6 +356,52 @@ else
   bad "perf gate: bench_serve / bench_gate not built"
 fi
 
+# Search-time scaling gate: bench_table1 (cold vs block-collapsed vs delta
+# re-solve on the transformer_stack family, docs/SCALING.md) from the same
+# non-sanitized build, diffed against BENCH_table1.json. The binary itself
+# enforces the structural claims (bit-identity, >= 10x collapse speedup
+# and sub-second delta at N=1000) and exits non-zero on violation; the
+# gate then bands the absolute search times — min over three runs, with
+# the small metrics additionally min-of-3 trials inside each run. Refresh
+# after an intentional perf change with PASE_UPDATE_BENCH=1 tools/check.sh.
+if [ -f "$BENCH_BUILD/CMakeCache.txt" ]; then
+  note "building bench_table1 (-j$JOBS)"
+  cmake --build "$BENCH_BUILD" -j "$JOBS" --target bench_table1 \
+        >> "$BENCH_BUILD.build.log" 2>&1 \
+    || bad "bench_table1 build (see $BENCH_BUILD.build.log)"
+fi
+BENCH_TABLE1="$BENCH_BUILD/bench/bench_table1"
+if [ -x "$BENCH_TABLE1" ] && [ -x "$BENCH_GATE" ]; then
+  T1_RUNS=()
+  T1_OK=1
+  for i in 1 2 3; do
+    note "running bench_table1 (non-sanitized, run $i of 3; ~10s each)"
+    if "$BENCH_TABLE1" > "$OBS_TMP/bench_table1_run$i.json" \
+         2> "$OBS_TMP/bench_table1_run$i.log"; then
+      T1_RUNS+=("$OBS_TMP/bench_table1_run$i.json")
+    else
+      bad "bench_table1 run $i failed a structural claim or crashed \
+(see $OBS_TMP/bench_table1_run$i.log)"
+      T1_OK=0
+      break
+    fi
+  done
+  if [ "$T1_OK" = 1 ]; then
+    if [ -n "${PASE_UPDATE_BENCH:-}" ]; then
+      "$BENCH_GATE" --update "$ROOT/BENCH_table1.json" "${T1_RUNS[@]}" \
+        || bad "scaling gate: baseline refresh failed"
+      note "refreshed BENCH_table1.json (min of 3 runs, PASE_UPDATE_BENCH)"
+    elif "$BENCH_GATE" "$ROOT/BENCH_table1.json" "${T1_RUNS[@]}"; then
+      note "ok scaling gate (cold/collapsed/delta search times within 25%)"
+    else
+      bad "scaling gate: search times regressed vs BENCH_table1.json (see \
+table above; PASE_UPDATE_BENCH=1 tools/check.sh to accept a new baseline)"
+    fi
+  fi
+else
+  bad "scaling gate: bench_table1 / bench_gate not built"
+fi
+
 note "docs gate: README.md vs pase_cli --help"
 HELP="$("$CLI" --help 2>/dev/null)" || bad "pase_cli --help exited non-zero"
 HELP_FLAGS="$(printf '%s\n' "$HELP" | grep -oE -- '--[a-z][a-z0-9-]+' | sort -u)"

@@ -6,7 +6,16 @@
 //            [--deadline SECONDS] [--strict] [--beam-width N]
 //            [--threads N] [--no-cost-cache] [--comm-model MODE]
 //            [--max-model-nodes N]
+//            [--zoo NAME] [--collapse-blocks] [--reuse-tables]
 //            [--faults SPEC] [--fault-aware] [--robustness N] [--seed S]
+//
+// Scaling options (docs/SCALING.md): --collapse-blocks detects repeated
+// structurally-identical blocks (e.g. a GPT stack's layers), solves one
+// representative and stitches — bit-identical to the uncollapsed solve,
+// orders of magnitude faster on thousand-layer stacks; --reuse-tables
+// keeps solver state so the --faults degraded re-solve becomes a delta
+// re-solve (ordering and vertex sets reused); --zoo NAME solves a built-in
+// zoo model (e.g. transformer_stack_1000) instead of a model file.
 //
 // Search engine options: --threads N fans the DP's per-vertex cost
 // evaluations across N worker threads (0 = hardware concurrency, the
@@ -52,6 +61,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/block_collapse.h"
 #include "core/dp_solver.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -60,6 +70,7 @@
 #include "fault/robustness.h"
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
+#include "models/models.h"
 #include "search/baselines.h"
 #include "sim/memory.h"
 #include "sim/simulator.h"
@@ -85,10 +96,19 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--comm-model simple|auto|ring|tree|hd|hier]\n"
       "          [--max-table-entries N] [--max-combinations N]\n"
       "          [--max-model-nodes N]\n"
+      "          [--zoo NAME] [--collapse-blocks] [--reuse-tables]\n"
       "          [--faults SPEC] [--fault-aware] [--robustness N] [--seed "
       "S]\n"
       "          [--help]\n"
       "\n"
+      "scaling:    --collapse-blocks solves one representative of each\n"
+      "            maximal run of repeated structurally-identical blocks\n"
+      "            and stitches (bit-identical to the uncollapsed solve;\n"
+      "            docs/SCALING.md); --reuse-tables keeps solver state so\n"
+      "            the --faults degraded re-solve is a delta re-solve;\n"
+      "            --zoo NAME solves a built-in zoo model (alexnet, mlp,\n"
+      "            transformer, transformer_stack_<N>, ...) instead of a\n"
+      "            model file\n"
       "observability: --trace-out FILE records the search itself (DP phases\n"
       "            and worker tasks) as Chrome trace-event JSON — distinct\n"
       "            from --trace, which records the simulated step timeline;\n"
@@ -174,6 +194,9 @@ int main(int argc, char** argv) {
   i64 max_table_entries = 0;  // 0 = DpOptions default
   i64 max_combinations = 0;
   i64 max_model_nodes = 0;  // 0 = unlimited
+  const char* zoo_name = nullptr;
+  bool collapse_blocks = false;
+  bool reuse_tables = false;
   const char* faults_arg = nullptr;
   bool fault_aware = false;
   i64 robustness_scenarios = 16;
@@ -256,6 +279,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--max-model-nodes") == 0) {
       if (!value(&v) || !parse_i64_flag(arg, v, 0, &max_model_nodes))
         return kExitUsage;
+    } else if (std::strcmp(arg, "--zoo") == 0) {
+      if (!value(&zoo_name)) return kExitUsage;
+    } else if (std::strcmp(arg, "--collapse-blocks") == 0) {
+      collapse_blocks = true;
+    } else if (std::strcmp(arg, "--reuse-tables") == 0) {
+      reuse_tables = true;
     } else if (std::strcmp(arg, "--faults") == 0) {
       if (!value(&faults_arg)) return kExitUsage;
     } else if (std::strcmp(arg, "--fault-aware") == 0) {
@@ -273,24 +302,52 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (!model_path) {
-    std::fprintf(stderr, "error: no model file given\n");
+  if (!model_path && !zoo_name) {
+    std::fprintf(stderr, "error: no model file given (or use --zoo NAME)\n");
     return usage(argv[0]);
   }
-
-  std::ifstream in(model_path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", model_path);
-    return kExitRuntime;
+  if (model_path && zoo_name) {
+    std::fprintf(stderr,
+                 "error: give either a model file or --zoo, not both\n");
+    return kExitUsage;
   }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  ModelParseLimits parse_limits;
-  parse_limits.max_nodes = max_model_nodes;
-  const ModelParseResult model = parse_model(buffer.str(), parse_limits);
-  if (!model.ok) {
-    std::fprintf(stderr, "error: %s: %s\n", model_path, model.error.c_str());
-    return kExitRuntime;
+
+  Graph graph;
+  std::string model_name;
+  if (zoo_name) {
+    auto zoo = models::zoo_graph(zoo_name);
+    if (!zoo) {
+      std::fprintf(stderr, "error: unknown zoo model '%s'\n", zoo_name);
+      return kExitRuntime;
+    }
+    graph = std::move(*zoo);
+    model_name = zoo_name;
+    if (max_model_nodes > 0 && graph.num_nodes() > max_model_nodes) {
+      std::fprintf(stderr,
+                   "error: %s: model has %lld layers, more than the "
+                   "--max-model-nodes limit of %lld\n",
+                   zoo_name, static_cast<long long>(graph.num_nodes()),
+                   static_cast<long long>(max_model_nodes));
+      return kExitRuntime;
+    }
+  } else {
+    std::ifstream in(model_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", model_path);
+      return kExitRuntime;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    ModelParseLimits parse_limits;
+    parse_limits.max_nodes = max_model_nodes;
+    ModelParseResult model = parse_model(buffer.str(), parse_limits);
+    if (!model.ok) {
+      std::fprintf(stderr, "error: %s: %s\n", model_path,
+                   model.error.c_str());
+      return kExitRuntime;
+    }
+    graph = std::move(model.graph);
+    model_name = model.name.empty() ? std::string(model_path) : model.name;
   }
 
   MachineSpec machine;
@@ -328,6 +385,12 @@ int main(int argc, char** argv) {
   const FaultModel fault_model(fault_spec, static_cast<u64>(fault_seed));
 
   DpOptions options;
+  options.collapse_blocks = collapse_blocks;
+  // A shared context makes the --faults degraded re-solve a delta re-solve:
+  // the main solve stores its ordering/vertex sets, the re-solve reuses
+  // them (the degraded machine changes costs, not graph adjacency).
+  DpContext solver_context;
+  if (reuse_tables) options.context = &solver_context;
   options.config_options.max_devices = devices;
   // Fault-aware search prices compute/communication on the degraded
   // machine (weakest-device rule, degraded links), so the found strategy
@@ -358,7 +421,7 @@ int main(int argc, char** argv) {
     options.metrics = &*metrics_registry;
   }
 
-  const DpResult r = find_best_strategy(model.graph, options);
+  const DpResult r = find_best_strategy(graph, options);
   if (r.status == DpStatus::kOutOfMemory) {
     std::fprintf(stderr,
                  "error: solver guard tripped (%s); rerun without --strict "
@@ -382,15 +445,14 @@ int main(int argc, char** argv) {
   }
 
   const std::string title =
-      (model.name.empty() ? std::string(model_path) : model.name) + " on " +
-      std::to_string(devices) + "x " + machine.name +
+      model_name + " on " + std::to_string(devices) + "x " + machine.name +
       (r.status == DpStatus::kDegraded ? " [degraded]" : "") +
       (fault_aware ? " [fault-aware]" : "");
-  std::fputs(strategy_table(title, model.graph, r.strategy).c_str(), stdout);
+  std::fputs(strategy_table(title, graph, r.strategy).c_str(), stdout);
 
-  const Simulator sim(model.graph, machine, comm_kind);
+  const Simulator sim(graph, machine, comm_kind);
   std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms%s\n",
-              static_cast<long long>(model.graph.num_nodes()),
+              static_cast<long long>(graph.num_nodes()),
               static_cast<long long>(r.max_configs),
               static_cast<long long>(r.max_dependent_set),
               r.elapsed_seconds * 1e3,
@@ -408,6 +470,18 @@ int main(int argc, char** argv) {
                                   static_cast<double>(cache_total)
                             : 0.0);
   std::printf("\n");
+  if (collapse_blocks) {
+    if (r.collapse_fired)
+      std::printf("block collapse: period %lld x %lld blocks (ordering %s)\n",
+                  static_cast<long long>(r.collapse_period),
+                  static_cast<long long>(r.collapse_blocks),
+                  r.collapse_ordering_extrapolated ? "extrapolated"
+                                                   : "certified full");
+    else
+      std::printf("block collapse: not fired (no repeated run of %lld+ "
+                  "structurally identical blocks)\n",
+                  static_cast<long long>(kMinCollapseBlocks));
+  }
   std::printf("comm model: %s", comm_model_kind_name(comm_kind));
   if (comm_kind == CommModelKind::kAuto)
     std::printf(" (all-reduce 1 MiB x %lld devices -> %s)",
@@ -418,21 +492,28 @@ int main(int argc, char** argv) {
   std::printf("analytical cost: %.4g FLOP-equiv   simulated step: %.2f ms   "
               "per-device memory: %.2f GB\n",
               r.best_cost, sim.simulate(r.strategy).step_time_s * 1e3,
-              estimate_memory(model.graph, r.strategy).total() / 1e9);
+              estimate_memory(graph, r.strategy).total() / 1e9);
 
   if (baseline) {
-    const Strategy dp = data_parallel_strategy(model.graph, devices);
+    const Strategy dp = data_parallel_strategy(graph, devices);
     std::printf("data parallelism: simulated step %.2f ms, memory %.2f GB "
                 "-> speedup %.2fx\n",
                 sim.simulate(dp).step_time_s * 1e3,
-                estimate_memory(model.graph, dp).total() / 1e9,
+                estimate_memory(graph, dp).total() / 1e9,
                 sim.speedup(r.strategy, dp));
   }
 
   if (faults_arg) {
+    // With --reuse-tables the report also re-solves against the degraded
+    // machine — a delta re-solve through the context the main search just
+    // filled — and prices what adapting the strategy would buy.
     const RobustnessReport rep =
-        evaluate_robustness(model.graph, machine, r.strategy, fault_model,
-                            robustness_scenarios, comm_kind);
+        reuse_tables
+            ? evaluate_robustness_with_resolve(
+                  graph, machine, r.strategy, fault_model, options,
+                  &solver_context, robustness_scenarios, comm_kind)
+            : evaluate_robustness(graph, machine, r.strategy, fault_model,
+                                  robustness_scenarios, comm_kind);
     std::printf("\nfault injection: %s (seed %lld, %lld scenarios)\n",
                 fault_spec.to_string().c_str(),
                 static_cast<long long>(fault_seed),
@@ -445,6 +526,14 @@ int main(int argc, char** argv) {
     std::printf("checkpoint/restart overhead: %.2f ms/step   expected "
                 "slowdown under faults: %.2fx\n",
                 rep.checkpoint_overhead_s * 1e3, rep.slowdown());
+    if (rep.resolved) {
+      std::printf("degraded re-solve: %.1f ms search (%s), adapted step "
+                  "%.2f ms -> adaptation gain %.2fx\n",
+                  rep.resolve_seconds * 1e3,
+                  rep.resolve_reused_tables ? "tables reused" : "cold",
+                  rep.resolve_degraded.step_time_s * 1e3,
+                  rep.adaptation_gain());
+    }
   }
 
   if (export_path) {
@@ -453,7 +542,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", export_path);
       return kExitRuntime;
     }
-    out << write_strategy(model.graph, r.strategy);
+    out << write_strategy(graph, r.strategy);
     std::printf("strategy written to %s\n", export_path);
   }
 
