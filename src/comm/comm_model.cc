@@ -86,15 +86,17 @@ CommModel::CommModel(const MachineSpec& m, CommModelKind kind)
       devices_per_node_(m.devices_per_node),
       intra_bw_(m.intra_bw()),
       inter_bw_(m.inter_bw()),
-      latency_s_(m.link_latency_s) {
+      latency_s_(m.link_latency_s),
+      tiers_(m.link_tiers) {
   PASE_CHECK(devices_per_node_ >= 1);
   PASE_CHECK(intra_bw_ > 0 && inter_bw_ > 0);
+  for (const LinkTier& t : tiers_)
+    PASE_CHECK(t.span >= 1 && t.bandwidth > 0 && t.latency_s >= 0);
 }
 
 double CommModel::point_to_point_time(double bytes, i64 group) const {
   if (bytes <= 0.0) return 0.0;
-  const double bw = group <= devices_per_node_ ? intra_bw_ : inter_bw_;
-  return bytes / bw + latency_s_;
+  return bytes / link_bw(group) + link_latency(group);
 }
 
 double CommModel::simple_time(Collective c, double bytes, i64 group) const {
@@ -107,28 +109,29 @@ double CommModel::simple_time(Collective c, double bytes, i64 group) const {
                             ? bytes * static_cast<double>(group - 1) /
                                   static_cast<double>(group)
                             : ring_wire_bytes(bytes, group) / 2.0;
-    const double bw = group <= dpn ? intra_bw_ : inter_bw_;
-    return wire / bw + latency_s_;
+    return wire / link_bw(group) + link_latency(group);
   }
-  // Bit-exact copy of the pre-comm-library Simulator::all_reduce_time.
+  // The pre-comm-library Simulator::all_reduce_time closed form; link_bw /
+  // link_latency return the legacy member doubles on two-level machines,
+  // keeping this bit-exact, and the covering tier on multi-tier ones.
   if (group <= dpn) {
     const double wire = ring_wire_bytes(bytes, group);
-    return wire / intra_bw_ + latency_s_;
+    return wire / link_bw(group) + link_latency(group);
   }
   const i64 nodes = (group + dpn - 1) / dpn;
   const double intra_bytes = 2.0 * bytes * static_cast<double>(dpn - 1) /
                              static_cast<double>(dpn);
   const double inter_bytes =
       ring_wire_bytes(bytes / static_cast<double>(dpn), nodes);
-  return intra_bytes / intra_bw_ + inter_bytes / inter_bw_ +
-         2.0 * latency_s_;
+  return intra_bytes / link_bw(dpn) + inter_bytes / link_bw(group) +
+         link_latency(dpn) + link_latency(group);
 }
 
 double CommModel::flat_time(CommAlgo a, Collective c, double bytes, i64 group,
-                            double bw) const {
+                            double bw, double alpha_s) const {
   if (bytes <= 0.0 || group <= 1) return 0.0;
   const double g = static_cast<double>(group);
-  const double a_s = latency_s_;
+  const double a_s = alpha_s;
   const double L = ceil_log2(group);
   const double ring_frac = bytes * (g - 1.0) / g;  // n(g-1)/g
   switch (a) {
@@ -183,8 +186,14 @@ CommPhases CommModel::hierarchical_phases(Collective c, double bytes,
   const i64 dpn = devices_per_node_;
   const i64 local = std::min<i64>(group, dpn);
   const i64 nodes = (group + dpn - 1) / dpn;
+  // The intra phase crosses the local link; the inter phase, spanning the
+  // full group, pays that group's covering tier (the legacy inter link on
+  // two-level machines).
+  const double ib = link_bw(local), il = link_latency(local);
+  const double xb = tiers_.empty() ? inter_bw_ : link_bw(group);
+  const double xl = tiers_.empty() ? latency_s_ : link_latency(group);
   if (nodes <= 1) {
-    ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
+    ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, ib, il);
     return ph;
   }
   const double nl = static_cast<double>(local);
@@ -194,34 +203,32 @@ CommPhases CommModel::hierarchical_phases(Collective c, double bytes,
       // Intra reduce-scatter + all-gather on the full tensor (= a ring
       // all-reduce's wire volume), inter ring all-reduce on each lane's
       // 1/local shard across the nodes.
-      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
-      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, inter_bw_);
+      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, ib, il);
+      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, xb, xl);
       break;
     case Collective::kReduceScatter:
-      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
-      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, inter_bw_);
+      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, ib, il);
+      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, xb, xl);
       break;
     case Collective::kAllGather:
       // Mirror image: gather each lane across nodes first, then complete
       // the tensor inside each node.
-      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, inter_bw_);
-      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, intra_bw_);
+      ph.inter_s = flat_time(CommAlgo::kRing, c, shard, nodes, xb, xl);
+      ph.intra_s = flat_time(CommAlgo::kRing, c, bytes, local, ib, il);
       break;
     case Collective::kBroadcast:
       // Binomial across nodes (one NIC hop per level), then binomial fan-out
       // inside each node.
-      ph.inter_s = flat_time(CommAlgo::kTree, c, bytes, nodes, inter_bw_);
-      ph.intra_s = flat_time(CommAlgo::kTree, c, bytes, local, intra_bw_);
+      ph.inter_s = flat_time(CommAlgo::kTree, c, bytes, nodes, xb, xl);
+      ph.intra_s = flat_time(CommAlgo::kTree, c, bytes, local, ib, il);
       break;
     case Collective::kAllToAll: {
       // Phase 1: node-local pairwise exchange of the locally-destined
       // blocks; phase 2: pairwise exchange between nodes of the aggregated
       // local*n/g blocks each node owes every other node.
       const double per_rank = bytes / static_cast<double>(group);
-      ph.intra_s = static_cast<double>(local - 1) *
-                   (latency_s_ + per_rank / intra_bw_);
-      ph.inter_s = static_cast<double>(nodes - 1) *
-                   (latency_s_ + per_rank * nl / inter_bw_);
+      ph.intra_s = static_cast<double>(local - 1) * (il + per_rank / ib);
+      ph.inter_s = static_cast<double>(nodes - 1) * (xl + per_rank * nl / xb);
       break;
     }
   }
@@ -233,8 +240,7 @@ double CommModel::algorithm_time(CommAlgo a, Collective c, double bytes,
   if (bytes <= 0.0 || group <= 1) return 0.0;
   if (a == CommAlgo::kHierarchical)
     return hierarchical_phases(c, bytes, group).total();
-  const double bw = group <= devices_per_node_ ? intra_bw_ : inter_bw_;
-  return flat_time(a, c, bytes, group, bw);
+  return flat_time(a, c, bytes, group, link_bw(group), link_latency(group));
 }
 
 CommAlgo CommModel::chosen_algorithm(Collective c, double bytes,

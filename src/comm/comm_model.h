@@ -52,6 +52,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include <mutex>
 
@@ -168,16 +169,41 @@ class CommModel {
   /// A flat (single-level) algorithm over `group` ranks on the link class
   /// the group implies.
   double flat_time(CommAlgo a, Collective c, double bytes, i64 group,
-                   double bw) const;
+                   double bw, double alpha_s) const;
   /// Legacy pricing (kSimple): the pre-comm-library simulator's flat ring /
-  /// fixed hierarchical-ring closed form, reproduced bit-exactly.
+  /// fixed hierarchical-ring closed form, reproduced bit-exactly on
+  /// two-level machines; on multi-tier machines (link_tiers present) the
+  /// same closed forms priced over each group's covering tier.
   double simple_time(Collective c, double bytes, i64 group) const;
+
+  /// Bandwidth/latency of the link a `group`-rank collective crosses: the
+  /// machine's covering link tier when tiers are present, else the legacy
+  /// intra/inter pair — returning *exactly* those member doubles, so every
+  /// closed form is byte-identical to the pre-tier pricing on two-level
+  /// machines.
+  double link_bw(i64 group) const {
+    if (!tiers_.empty()) {
+      for (const LinkTier& t : tiers_)
+        if (group <= t.span) return t.bandwidth;
+      return tiers_.back().bandwidth;
+    }
+    return group <= devices_per_node_ ? intra_bw_ : inter_bw_;
+  }
+  double link_latency(i64 group) const {
+    if (!tiers_.empty()) {
+      for (const LinkTier& t : tiers_)
+        if (group <= t.span) return t.latency_s;
+      return tiers_.back().latency_s;
+    }
+    return latency_s_;
+  }
 
   CommModelKind kind_;
   i64 devices_per_node_;
   double intra_bw_;
   double inter_bw_;
   double latency_s_;
+  std::vector<LinkTier> tiers_;  ///< multi-tier fabric; empty = two-level
 
   mutable std::mutex choice_mutex_;
   mutable std::unordered_map<u64, CommAlgo> choice_memo_;

@@ -87,8 +87,12 @@ double layer_flops(const Node& node, const Config& config,
                    const CostParams& params) {
   PASE_CHECK(config.rank() == node.space.rank());
   // Computation: FLOPs are divided evenly across the participating devices.
+  // Under the hetero tables the proportional-shard scale (<= 1, exactly 1.0
+  // when absent) re-expresses the division over the degree fastest devices
+  // in weakest-device FLOP-equivalents (src/hetero/hetero.h).
   return node.fwd_flops() * (1.0 + params.bwd_flops_multiplier) /
-         static_cast<double>(config.degree());
+         static_cast<double>(config.degree()) *
+         params.compute_scale(config.degree());
 }
 
 double layer_cost(const Node& node, const Config& config,
@@ -110,6 +114,19 @@ double layer_cost(const Node& node, const Config& config,
               : params.comm->collective_time(Collective::kAllReduce,
                                              c.volume_bytes, c.group);
       comm_flops += weight * seconds * params.seconds_to_flops;
+    }
+    return layer_flops(node, config, params) + comm_flops;
+  }
+  if (params.heterogeneity_aware()) {
+    // Placement-aware pricing: each collective pays the bottleneck link of
+    // its own placed group instead of the machine-wide weakest-link r.
+    double comm_flops = 0.0;
+    for (const CollectiveComm& c : layer_collectives(node, config, params)) {
+      const double weight =
+          c.kind == CollectiveComm::Kind::kGradientAllReduce
+              ? params.gradient_comm_discount
+              : 1.0;
+      comm_flops += weight * params.group_r(c.group) * c.bytes;
     }
     return layer_flops(node, config, params) + comm_flops;
   }
@@ -163,6 +180,12 @@ double transfer_bytes(const Edge& edge, const Config& src_config,
   return (fwd + bwd) * params.bytes_per_element;
 }
 
+double edge_flop_byte_ratio(const CostParams& params, const Config& src_config,
+                            const Config& dst_config) {
+  if (!params.heterogeneity_aware()) return params.r;
+  return params.group_r(std::max(src_config.degree(), dst_config.degree()));
+}
+
 double CostModel::cached_node_cost(NodeId v, const Config& config) const {
   double c;
   if (cache_->lookup_node(v, config, &c)) return c;
@@ -173,11 +196,12 @@ double CostModel::cached_node_cost(NodeId v, const Config& config) const {
 
 double CostModel::cached_edge_cost(const Edge& e, const Config& src_config,
                                    const Config& dst_config) const {
+  const double ratio = edge_flop_byte_ratio(params_, src_config, dst_config);
   if (e.id < 0)  // synthetic edge not registered in the graph: no memo slot
-    return params_.r * transfer_bytes(e, src_config, dst_config, params_);
+    return ratio * transfer_bytes(e, src_config, dst_config, params_);
   double c;
   if (cache_->lookup_edge(e.id, src_config, dst_config, &c)) return c;
-  c = params_.r * transfer_bytes(e, src_config, dst_config, params_);
+  c = ratio * transfer_bytes(e, src_config, dst_config, params_);
   cache_->store_edge(e.id, src_config, dst_config, c);
   return c;
 }

@@ -21,7 +21,9 @@
 // algorithm per message shape).
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "comm/comm_model.h"
 #include "config/config.h"
@@ -56,6 +58,34 @@ struct CostParams {
   /// weakest device's achieved FLOPs, the same scale r bakes in (r * bytes
   /// == seconds_to_flops * bytes / B).
   double seconds_to_flops = 0.0;
+
+  /// Heterogeneity-aware pricing tables (src/hetero/hetero.h installs
+  /// them). Empty — the default, and what for_machine produces — keeps the
+  /// homogeneous pricing bit-identical. Both are indexed by device-group
+  /// size (entry g for a group of g devices, clamped to the last entry):
+  ///   hetero_compute_scale[g]  proportional-shard compute scale over the g
+  ///                            fastest devices, in weakest-device units
+  ///                            (<= 1; layer_flops multiplies by it);
+  ///   hetero_group_r[g]        FLOP-to-byte ratio for a collective over
+  ///                            the placed group's bottleneck link (<= r).
+  std::vector<double> hetero_compute_scale;
+  std::vector<double> hetero_group_r;
+
+  bool heterogeneity_aware() const { return !hetero_group_r.empty(); }
+
+  double compute_scale(i64 degree) const {
+    if (hetero_compute_scale.empty()) return 1.0;
+    const size_t i = std::min(static_cast<size_t>(degree),
+                              hetero_compute_scale.size() - 1);
+    return hetero_compute_scale[i];
+  }
+
+  double group_r(i64 group) const {
+    if (hetero_group_r.empty()) return r;
+    const size_t i =
+        std::min(static_cast<size_t>(group), hetero_group_r.size() - 1);
+    return hetero_group_r[i];
+  }
 
   static CostParams for_machine(const MachineSpec& m) {
     CostParams p;
@@ -115,6 +145,13 @@ double layer_flops(const Node& node, const Config& config,
 double transfer_bytes(const Edge& edge, const Config& src_config,
                       const Config& dst_config, const CostParams& params);
 
+/// FLOP-to-byte ratio applied to an edge's redistribution bytes: the
+/// machine-wide r or, under the hetero tables, the per-group r of the wider
+/// endpoint's placed group (the reshard runs over the union of the two
+/// aligned fastest-first prefixes, which is the wider one).
+double edge_flop_byte_ratio(const CostParams& params, const Config& src_config,
+                            const Config& dst_config);
+
 /// Per-strategy cost breakdown of Eq. (1).
 struct CostBreakdown {
   double layer = 0.0;     ///< sum of t_l, FLOPs
@@ -160,7 +197,8 @@ class CostModel {
   double edge_cost(const Edge& e, const Config& src_config,
                    const Config& dst_config) const {
     if (cache_) return cached_edge_cost(e, src_config, dst_config);
-    return params_.r * transfer_bytes(e, src_config, dst_config, params_);
+    return edge_flop_byte_ratio(params_, src_config, dst_config) *
+           transfer_bytes(e, src_config, dst_config, params_);
   }
 
   double edge_cost(EdgeId e, const Strategy& phi) const {

@@ -13,6 +13,16 @@
 
 namespace pase {
 
+/// One interconnect tier of a multi-level fabric: every device group whose
+/// placement spans at most `span` ranks communicates over a link of this
+/// bandwidth/latency. Tiers are kept sorted by span; the smallest tier that
+/// covers a group wins (NVLink island < PCIe host < IB rack < Ethernet pod).
+struct LinkTier {
+  i64 span = 0;            ///< max group extent served by this tier
+  double bandwidth = 0.0;  ///< bytes/s (the β term)
+  double latency_s = 0.0;  ///< per-message latency (the α term)
+};
+
 struct MachineSpec {
   std::string name;
   i64 num_devices = 1;          ///< p
@@ -47,6 +57,29 @@ struct MachineSpec {
   /// device ("the primary bottleneck"); the simulator uses the true
   /// per-device peaks of the ranks a layer runs on.
   std::vector<double> device_flops;
+
+  /// Multi-tier interconnect (optional): sorted by ascending span, spans
+  /// strictly increasing, the last tier covering num_devices. Empty =
+  /// two-level intra/inter behavior everywhere (the legacy presets). Only
+  /// the heterogeneity-aware path (src/hetero, CommModel) consults tiers;
+  /// the legacy analytical model keeps the scalar link_bandwidth.
+  std::vector<LinkTier> link_tiers;
+
+  bool has_link_tiers() const { return !link_tiers.empty(); }
+
+  /// The smallest tier whose span covers a group of `group` consecutive
+  /// ranks; the widest tier if none does (group > machine, defensive).
+  const LinkTier& tier_for_group(i64 group) const {
+    PASE_CHECK(!link_tiers.empty());
+    for (const LinkTier& t : link_tiers)
+      if (group <= t.span) return t;
+    return link_tiers.back();
+  }
+
+  double tier_bandwidth(i64 group) const {
+    return tier_for_group(group).bandwidth;
+  }
+  double tier_latency(i64 group) const { return tier_for_group(group).latency_s; }
 
   double flops_of(i64 rank) const {
     if (device_flops.empty()) return peak_flops;
@@ -129,6 +162,40 @@ struct MachineSpec {
     return m;
   }
 
+  /// A mixed 1080Ti+2080Ti pod (ROADMAP item 3): the first half of the
+  /// ranks are 2080Ti-class peaks behind the higher 1080Ti-style links, the
+  /// second half 1080Ti-class. Two link tiers: PCIe within a host, IB
+  /// across hosts. The scalar fields keep the §V weakest-device /
+  /// weakest-link convention so the legacy model stays well-defined.
+  static MachineSpec mixed_pod(i64 p) {
+    MachineSpec m = gtx1080ti(p);
+    m.name = "MixedPod";
+    m.device_flops.assign(static_cast<size_t>(p), m.peak_flops);
+    for (i64 d = 0; d < p / 2; ++d)
+      m.device_flops[static_cast<size_t>(d)] = 13.4e12;  // 2080Ti-class peak
+    m.link_tiers = {{std::min(m.devices_per_node, p), m.intra_node_bandwidth,
+                     m.link_latency_s}};
+    if (p > m.devices_per_node)
+      m.link_tiers.push_back(
+          {p, m.inter_node_bandwidth, m.link_latency_s * 4});
+    return m;
+  }
+
+  /// A homogeneous pod behind a three-tier interconnect: PCIe island (8),
+  /// IB rack (16), oversubscribed pod spine beyond. Small groups are cheap,
+  /// pod-wide collectives pay the spine.
+  static MachineSpec multi_tier(i64 p) {
+    MachineSpec m = gtx1080ti(p);
+    m.name = "MultiTier";
+    m.link_tiers = {{8, 12e9, m.link_latency_s},
+                    {16, 7e9, m.link_latency_s * 4}};
+    if (p > 16) m.link_tiers.push_back({p, 3e9, m.link_latency_s * 10});
+    // §V analytical B: the weakest link any group can land on.
+    m.link_bandwidth = m.link_tiers.back().bandwidth;
+    m.inter_node_bandwidth = m.link_bandwidth;
+    return m;
+  }
+
   // Fault-injection perturbations (src/fault): both return *this so a
   // FaultModel can chain them on a copy of the healthy spec.
 
@@ -153,6 +220,10 @@ struct MachineSpec {
     intra_node_bandwidth = intra_bw() * intra_factor;
     inter_node_bandwidth = inter_bw() * inter_factor;
     link_bandwidth = std::min(intra_node_bandwidth, inter_node_bandwidth);
+    for (LinkTier& t : link_tiers) {
+      t.bandwidth *= t.span <= devices_per_node ? intra_factor : inter_factor;
+      link_bandwidth = std::min(link_bandwidth, t.bandwidth);
+    }
     return *this;
   }
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hetero/hetero.h"
 #include "util/check.h"
 
 namespace pase {
@@ -52,13 +53,17 @@ RobustnessReport evaluate_robustness_with_resolve(
   RobustnessReport report = evaluate_robustness(graph, healthy, phi, model,
                                                 num_scenarios, comm_kind);
 
-  // Re-solve against the machine the faults actually left us with. The
-  // graph adjacency is unchanged, so a shared DpContext turns this into a
-  // delta re-solve (ordering/vertex sets reused, tables refilled under the
-  // degraded cost params).
+  // Re-solve against the machine the faults actually left us with. A
+  // straggler-degraded cluster *is* a heterogeneous machine (DESIGN.md
+  // §13), so the re-solve goes through hetero_cost_params — the same path
+  // a plain solve on that machine takes (for a fault that degrades every
+  // device equally the spec stays uniform and this is the legacy params,
+  // bit-identically). The graph adjacency is unchanged, so a shared
+  // DpContext turns this into a delta re-solve (ordering/vertex sets
+  // reused, tables refilled under the degraded cost params).
   const MachineSpec degraded_machine = model.perturb(healthy);
   DpOptions options = solve_options;
-  options.cost_params = CostParams::for_machine(degraded_machine, comm_kind);
+  options.cost_params = hetero_cost_params(degraded_machine, comm_kind);
   options.context = context;
   const DpResult result = find_best_strategy(graph, options);
 

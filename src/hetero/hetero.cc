@@ -1,0 +1,104 @@
+#include "hetero/hetero.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace pase {
+
+HeteroModel::HeteroModel(const MachineSpec& machine) : machine_(machine) {
+  const i64 p = machine_.num_devices;
+  PASE_CHECK(p >= 1);
+  placement_.resize(static_cast<size_t>(p));
+  std::iota(placement_.begin(), placement_.end(), i64{0});
+  // stable_sort keeps ties in rank order, making the permutation a pure
+  // function of the spec (determinism across thread counts comes for free:
+  // the tables are computed once, before any parallel phase).
+  std::stable_sort(placement_.begin(), placement_.end(), [&](i64 a, i64 b) {
+    return machine_.flops_of(a) > machine_.flops_of(b);
+  });
+  prefix_flops_.resize(static_cast<size_t>(p));
+  prefix_span_.resize(static_cast<size_t>(p));
+  double sum = 0.0;
+  i64 span = 0;
+  for (i64 g = 0; g < p; ++g) {
+    const i64 rank = placement_[static_cast<size_t>(g)];
+    sum += machine_.flops_of(rank);
+    span = std::max(span, rank + 1);
+    prefix_flops_[static_cast<size_t>(g)] = sum;
+    prefix_span_[static_cast<size_t>(g)] = span;
+  }
+  const double weakest = machine_.weakest_flops();
+  bool flops_uniform = true;
+  for (i64 d = 0; d < p; ++d)
+    flops_uniform = flops_uniform && machine_.flops_of(d) == weakest;
+  bool tiers_flat = true;
+  for (const LinkTier& t : machine_.link_tiers)
+    tiers_flat = tiers_flat && t.bandwidth == machine_.link_bandwidth;
+  uniform_ = flops_uniform && tiers_flat;
+}
+
+double HeteroModel::effective_flops(i64 group) const {
+  const i64 g =
+      std::clamp<i64>(group, 1, static_cast<i64>(prefix_flops_.size()));
+  return prefix_flops_[static_cast<size_t>(g - 1)];
+}
+
+i64 HeteroModel::placed_span(i64 group) const {
+  const i64 g =
+      std::clamp<i64>(group, 1, static_cast<i64>(prefix_span_.size()));
+  return prefix_span_[static_cast<size_t>(g - 1)];
+}
+
+double HeteroModel::group_bandwidth(i64 group) const {
+  const i64 span = placed_span(group);
+  if (machine_.has_link_tiers()) return machine_.tier_bandwidth(span);
+  return span <= machine_.devices_per_node ? machine_.intra_bw()
+                                           : machine_.inter_bw();
+}
+
+double HeteroModel::compute_scale(i64 group) const {
+  const i64 g =
+      std::clamp<i64>(group, 1, static_cast<i64>(prefix_flops_.size()));
+  return static_cast<double>(g) * machine_.weakest_flops() /
+         effective_flops(g);
+}
+
+double HeteroModel::group_r(i64 group) const {
+  return machine_.weakest_flops() * machine_.compute_efficiency /
+         group_bandwidth(group);
+}
+
+std::string HeteroModel::signature() const {
+  std::string s = machine_.name.empty() ? "machine" : machine_.name;
+  s += "/p" + std::to_string(machine_.num_devices);
+  if (!uniform_) s += "/het";
+  return s;
+}
+
+CostParams hetero_cost_params(const MachineSpec& m, CommModelKind kind) {
+  HeteroModel h(m);
+  CostParams p = CostParams::for_machine(m, kind);
+  // The degenerate case: a uniform spec installs nothing, so costs and
+  // strategies are bit-identical to the legacy path (the kSimple "attaches
+  // no comm model" precedent).
+  if (h.uniform()) return p;
+  const i64 n = m.num_devices;
+  p.hetero_compute_scale.resize(static_cast<size_t>(n) + 1);
+  p.hetero_group_r.resize(static_cast<size_t>(n) + 1);
+  for (i64 g = 1; g <= n; ++g) {
+    p.hetero_compute_scale[static_cast<size_t>(g)] = h.compute_scale(g);
+    p.hetero_group_r[static_cast<size_t>(g)] = h.group_r(g);
+  }
+  // Degree-0 groups do not occur; keep the slot well-defined anyway.
+  p.hetero_compute_scale[0] = p.hetero_compute_scale[1];
+  p.hetero_group_r[0] = p.hetero_group_r[1];
+  return p;
+}
+
+std::string machine_signature(const MachineSpec& m) {
+  return HeteroModel(m).signature();
+}
+
+}  // namespace pase

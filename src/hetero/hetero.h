@@ -1,0 +1,102 @@
+// First-class heterogeneous machine model (ROADMAP item 3; AMP, PAPERS.md):
+// per-device FLOPS and per-link bandwidths become inputs the search *prices*,
+// not just simulator refinements.
+//
+// Placement. The DP's configuration space stays mixed-radix over parallel
+// degrees; what heterogeneity changes is *which* physical devices a degree-g
+// layer occupies and how its work is sharded. HeteroModel fixes the
+// deterministic fastest-first placement: devices sorted by descending peak
+// FLOPS (ties by rank), a degree-g layer occupying the first g. Prefixes are
+// nested, so the aligned-placement transfer-overlap closed form in
+// cost_model.cc (`transfer_bytes`) remains exact, and the placement is a
+// pure function of the spec — bit-identical across thread counts for free.
+//
+// Uneven shards. Across the g fastest devices a layer's work is split
+// proportionally to each device's peak (every shard finishes together), so
+// the per-layer compute time is W / sum_top-g(f) instead of the even-shard
+// (W/g) / f_weakest. Expressed in the cost model's weakest-device
+// FLOP-equivalents that is a pure scale factor per degree:
+//
+//   compute_scale[g] = g * F_ref / sum_top-g(f)   <= 1,  F_ref = weakest f
+//
+// Link pricing. A collective over group g runs on the physical span of the
+// placed prefix; the bottleneck link of that span (the machine's link tiers,
+// or the legacy intra/inter pair) sets the per-group FLOP-to-byte ratio:
+//
+//   group_r[g] = F_ref * efficiency / bottleneck_bw(g)   <= r
+//
+// Both tables install into CostParams (hetero_cost_params below). A uniform
+// spec installs *nothing* and returns CostParams::for_machine verbatim —
+// the homogeneous machine is the degenerate case, bit-identical to the
+// legacy path (same precedent as CommModelKind::kSimple attaching no comm
+// model). The fault path builds on the same contract: a straggler-degraded
+// MachineSpec is just a heterogeneous machine, so robustness re-solves and
+// plain solves share one search path (DESIGN.md §13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/comm_model.h"
+#include "cost/cost_model.h"
+#include "cost/machine.h"
+#include "util/types.h"
+
+namespace pase {
+
+class HeteroModel {
+ public:
+  explicit HeteroModel(const MachineSpec& machine);
+
+  const MachineSpec& machine() const { return machine_; }
+
+  /// True when every device has the same peak and every link tier matches
+  /// the scalar link_bandwidth — i.e. the hetero tables would be the
+  /// identity and the legacy model is exact.
+  bool uniform() const { return uniform_; }
+
+  /// Fastest-first device permutation: placement()[i] is the physical rank
+  /// of the i-th logical device (descending FLOPS, ties by ascending rank).
+  const std::vector<i64>& placement() const { return placement_; }
+
+  /// Sum of the g fastest devices' peak FLOPS (g clamped to [1, p]).
+  double effective_flops(i64 group) const;
+
+  /// Physical extent (max physical rank + 1) of the g fastest devices —
+  /// the span whose bottleneck link a group-g collective pays.
+  i64 placed_span(i64 group) const;
+
+  /// Bottleneck link bandwidth for a group of the g fastest devices: the
+  /// machine's tier for the placed span, or the legacy intra/inter pair.
+  double group_bandwidth(i64 group) const;
+
+  /// Proportional-shard compute scale (<= 1), in weakest-device units.
+  double compute_scale(i64 group) const;
+
+  /// Per-group FLOP-to-byte ratio (<= the machine's scalar r).
+  double group_r(i64 group) const;
+
+  /// Short deterministic signature for logs/metrics, e.g. "MixedPod/p8/het"
+  /// — uniform machines render as "name/p8".
+  std::string signature() const;
+
+ private:
+  MachineSpec machine_;
+  bool uniform_ = true;
+  std::vector<i64> placement_;
+  std::vector<double> prefix_flops_;  ///< prefix_flops_[g-1] = top-g sum
+  std::vector<i64> prefix_span_;      ///< prefix_span_[g-1] = placed span
+};
+
+/// CostParams for a possibly heterogeneous machine. Uniform specs return
+/// CostParams::for_machine(m, kind) verbatim — bit-identical costs and
+/// strategies to the legacy path. Non-uniform specs get the
+/// hetero_compute_scale / hetero_group_r tables installed (and, for non-
+/// simple kinds, a tier-aware CommModel).
+CostParams hetero_cost_params(const MachineSpec& m,
+                              CommModelKind kind = CommModelKind::kSimple);
+
+/// HeteroModel(m).signature() without building the tables by hand.
+std::string machine_signature(const MachineSpec& m);
+
+}  // namespace pase

@@ -1,0 +1,241 @@
+#include "hetero/machine_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "serve/json.h"
+
+namespace pase {
+namespace {
+
+using serve::Json;
+
+bool fail(std::string* error, const std::string& reason) {
+  if (error) *error = "machine spec: " + reason;
+  return false;
+}
+
+/// Positive finite number at `key`, or absent (-> false, no error).
+bool read_positive(const Json& j, const std::string& key, double* out,
+                   bool* present, std::string* error, bool* ok) {
+  *present = false;
+  const Json* v = j.get(key);
+  if (!v) {
+    *ok = true;
+    return false;
+  }
+  if (!v->is_number() || !std::isfinite(v->number) || v->number <= 0) {
+    *ok = fail(error, "\"" + key + "\" must be a positive number");
+    return false;
+  }
+  *out = v->number;
+  *present = true;
+  *ok = true;
+  return true;
+}
+
+bool read_unit_interval(const Json& j, const std::string& key, double* out,
+                        double lo, std::string* error) {
+  const Json* v = j.get(key);
+  if (!v) return true;
+  if (!v->is_number() || !std::isfinite(v->number) || v->number < lo ||
+      v->number > 1.0) {
+    std::ostringstream os;
+    os << "\"" << key << "\" must be a number in [" << lo << ", 1]";
+    return fail(error, os.str());
+  }
+  *out = v->number;
+  return true;
+}
+
+bool read_count(const Json& j, const std::string& key, i64* out,
+                std::string* error) {
+  const Json* v = j.get(key);
+  if (!v) return true;
+  if (!v->is_number() || !std::isfinite(v->number) ||
+      v->number != std::floor(v->number) || v->number < 1 ||
+      v->number > 1e6) {
+    return fail(error, "\"" + key + "\" must be a positive integer");
+  }
+  *out = static_cast<i64>(v->number);
+  return true;
+}
+
+}  // namespace
+
+bool parse_machine_spec(const std::string& text, MachineSpec* out,
+                        std::string* error) {
+  std::string parse_error;
+  std::optional<Json> doc = serve::parse_json(text, &parse_error);
+  if (!doc) return fail(error, parse_error);
+  const Json& j = *doc;
+  if (!j.is_object()) return fail(error, "top level must be an object");
+
+  static const std::set<std::string> kKnownKeys = {
+      "name",           "devices",
+      "devices_per_node", "peak_flops",
+      "device_flops",   "link_bandwidth",
+      "intra_node_bandwidth", "inter_node_bandwidth",
+      "link_tiers",     "link_latency_s",
+      "compute_efficiency", "grad_overlap_efficiency",
+      "gradient_comm_discount"};
+  for (const auto& [key, value] : j.object)
+    if (!kKnownKeys.count(key))
+      return fail(error, "unknown key \"" + key + "\"");
+
+  MachineSpec m;
+  if (const Json* name = j.get("name")) {
+    if (!name->is_string()) return fail(error, "\"name\" must be a string");
+    m.name = name->string;
+  }
+  if (m.name.empty()) m.name = "spec";
+
+  if (!j.get("devices")) return fail(error, "\"devices\" is required");
+  m.num_devices = 0;
+  if (!read_count(j, "devices", &m.num_devices, error)) return false;
+  if (!read_count(j, "devices_per_node", &m.devices_per_node, error))
+    return false;
+
+  bool ok = false, have_peak = false;
+  read_positive(j, "peak_flops", &m.peak_flops, &have_peak, error, &ok);
+  if (!ok) return false;
+
+  if (const Json* flops = j.get("device_flops")) {
+    if (!flops->is_array())
+      return fail(error, "\"device_flops\" must be an array of numbers");
+    if (static_cast<i64>(flops->array.size()) != m.num_devices) {
+      std::ostringstream os;
+      os << "\"device_flops\" has " << flops->array.size()
+         << " entries but \"devices\" is " << m.num_devices;
+      return fail(error, os.str());
+    }
+    m.device_flops.reserve(flops->array.size());
+    for (size_t i = 0; i < flops->array.size(); ++i) {
+      const Json& f = flops->array[i];
+      if (!f.is_number() || !std::isfinite(f.number) || f.number <= 0) {
+        std::ostringstream os;
+        os << "\"device_flops\"[" << i << "] must be a positive number";
+        return fail(error, os.str());
+      }
+      m.device_flops.push_back(f.number);
+    }
+    // The scalar peak defaults to the fastest device (its §V role is "a
+    // representative peak"; weakest_flops() governs the analytical model).
+    if (!have_peak)
+      m.peak_flops =
+          *std::max_element(m.device_flops.begin(), m.device_flops.end());
+  } else if (!have_peak) {
+    return fail(error, "\"peak_flops\" or \"device_flops\" is required");
+  }
+
+  bool have_link = false, have_intra = false, have_inter = false;
+  double link_bw = 0.0;
+  read_positive(j, "link_bandwidth", &link_bw, &have_link, error, &ok);
+  if (!ok) return false;
+  read_positive(j, "intra_node_bandwidth", &m.intra_node_bandwidth,
+                &have_intra, error, &ok);
+  if (!ok) return false;
+  read_positive(j, "inter_node_bandwidth", &m.inter_node_bandwidth,
+                &have_inter, error, &ok);
+  if (!ok) return false;
+
+  // Parsed before link_tiers: it is the default tier latency.
+  if (const Json* lat = j.get("link_latency_s")) {
+    if (!lat->is_number() || !std::isfinite(lat->number) || lat->number < 0)
+      return fail(error, "\"link_latency_s\" must be a non-negative number");
+    m.link_latency_s = lat->number;
+  }
+
+  if (const Json* tiers = j.get("link_tiers")) {
+    if (!tiers->is_array() || tiers->array.empty())
+      return fail(error, "\"link_tiers\" must be a non-empty array");
+    i64 prev_span = 0;
+    for (size_t i = 0; i < tiers->array.size(); ++i) {
+      const Json& t = tiers->array[i];
+      std::ostringstream at;
+      at << "\"link_tiers\"[" << i << "]";
+      if (!t.is_object()) return fail(error, at.str() + " must be an object");
+      for (const auto& [key, value] : t.object)
+        if (key != "span" && key != "bandwidth" && key != "latency_s")
+          return fail(error, at.str() + " has unknown key \"" + key + "\"");
+      LinkTier tier;
+      const Json* span = t.get("span");
+      if (!span || !span->is_number() ||
+          span->number != std::floor(span->number) || span->number < 1)
+        return fail(error, at.str() + ".span must be a positive integer");
+      tier.span = static_cast<i64>(span->number);
+      if (tier.span <= prev_span)
+        return fail(error, "\"link_tiers\" spans must be strictly increasing");
+      prev_span = tier.span;
+      const Json* bw = t.get("bandwidth");
+      if (!bw || !bw->is_number() || !std::isfinite(bw->number) ||
+          bw->number <= 0)
+        return fail(error, at.str() + ".bandwidth must be a positive number");
+      tier.bandwidth = bw->number;
+      tier.latency_s = m.link_latency_s;
+      if (const Json* lat = t.get("latency_s")) {
+        if (!lat->is_number() || !std::isfinite(lat->number) ||
+            lat->number < 0)
+          return fail(error,
+                      at.str() + ".latency_s must be a non-negative number");
+        tier.latency_s = lat->number;
+      }
+      m.link_tiers.push_back(tier);
+    }
+    if (m.link_tiers.back().span < m.num_devices) {
+      std::ostringstream os;
+      os << "\"link_tiers\" cover only " << m.link_tiers.back().span
+         << " of " << m.num_devices << " devices";
+      return fail(error, os.str());
+    }
+  }
+
+  if (!have_link && !have_intra && !have_inter && m.link_tiers.empty())
+    return fail(error,
+                "no link given: need \"link_bandwidth\", "
+                "\"intra_node_bandwidth\"/\"inter_node_bandwidth\", or "
+                "\"link_tiers\"");
+
+  if (have_link) {
+    m.link_bandwidth = link_bw;
+  } else {
+    // §V convention: the analytical B is the weakest link anywhere.
+    double weakest = 0.0;
+    if (have_intra)
+      weakest = weakest > 0 ? std::min(weakest, m.intra_node_bandwidth)
+                            : m.intra_node_bandwidth;
+    if (have_inter)
+      weakest = weakest > 0 ? std::min(weakest, m.inter_node_bandwidth)
+                            : m.inter_node_bandwidth;
+    for (const LinkTier& t : m.link_tiers)
+      weakest = weakest > 0 ? std::min(weakest, t.bandwidth) : t.bandwidth;
+    m.link_bandwidth = weakest;
+  }
+
+  if (!read_unit_interval(j, "compute_efficiency", &m.compute_efficiency,
+                          1e-6, error))
+    return false;
+  if (!read_unit_interval(j, "grad_overlap_efficiency",
+                          &m.grad_overlap_efficiency, 0.0, error))
+    return false;
+  if (!read_unit_interval(j, "gradient_comm_discount",
+                          &m.gradient_comm_discount, 0.0, error))
+    return false;
+
+  *out = m;
+  return true;
+}
+
+bool load_machine_spec(const std::string& path, MachineSpec* out,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, "cannot read \"" + path + "\"");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_machine_spec(buf.str(), out, error);
+}
+
+}  // namespace pase

@@ -1,0 +1,52 @@
+// Machine-spec files: a JSON device/link description of a (possibly
+// heterogeneous) cluster, loadable via `pase_cli --machine-spec <file>` and
+// acceptable inline in the serve protocol ("machine_spec"). Parsed with the
+// hardened serve/json.h parser — machine specs cross a trust boundary the
+// same way protocol lines do, so malformed input must produce a structured
+// error, never an abort.
+//
+// Format (all bandwidths bytes/s, FLOPS per second, latencies seconds):
+//
+//   {
+//     "name": "mixed-pod",           // optional label
+//     "devices": 8,                  // required, >= 1
+//     "devices_per_node": 8,         // optional
+//     "peak_flops": 11.3e12,         // required unless device_flops given
+//     "device_flops": [ ... ],       // optional, exactly `devices` entries
+//     "link_bandwidth": 7e9,         // optional when links given elsewhere
+//     "intra_node_bandwidth": 12e9,  // optional
+//     "inter_node_bandwidth": 7e9,   // optional
+//     "link_tiers": [                // optional multi-tier fabric
+//       {"span": 8, "bandwidth": 12e9, "latency_s": 5e-6},
+//       {"span": 16, "bandwidth": 7e9}
+//     ],
+//     "link_latency_s": 5e-6,        // optional
+//     "compute_efficiency": 0.35,    // optional, in (0, 1]
+//     "grad_overlap_efficiency": 1.0,   // optional, in [0, 1]
+//     "gradient_comm_discount": 0.3     // optional, in [0, 1]
+//   }
+//
+// At least one link description (link_bandwidth, intra/inter pair, or
+// link_tiers) is required. When link_bandwidth is omitted it defaults to
+// the weakest given link, matching the presets' §V convention. Tier spans
+// must be positive, strictly increasing, and cover all devices. Unknown
+// keys are rejected (typos must not silently fall back to defaults).
+#pragma once
+
+#include <string>
+
+#include "cost/machine.h"
+
+namespace pase {
+
+/// Parses one machine-spec document. On failure returns false and, when
+/// `error` is non-null, fills it with a structured reason (parser errors
+/// carry byte offsets; validation errors name the offending key).
+bool parse_machine_spec(const std::string& text, MachineSpec* out,
+                        std::string* error);
+
+/// Reads `path` and parses it; unreadable files fail with *error set.
+bool load_machine_spec(const std::string& path, MachineSpec* out,
+                       std::string* error);
+
+}  // namespace pase

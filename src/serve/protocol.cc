@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hetero/machine_file.h"
 #include "serve/json.h"
 
 namespace pase::serve {
@@ -89,14 +90,45 @@ RequestParseResult parse_request(const std::string& line) {
     return result;
   }
   req.machine = obj.get_string("machine", "1080ti");
+  i64 devices_fallback = 8;
+  MachineSpec spec_machine;
+  if (const Json* spec = obj.get("machine_spec")) {
+    if (obj.get("machine")) {
+      result.error =
+          "a solve takes at most one of 'machine' or 'machine_spec'";
+      return result;
+    }
+    if (!spec->is_object()) {
+      result.error = "field 'machine_spec' must be an object";
+      return result;
+    }
+    // Canonicalize before validating so byte-equal specs share one result-
+    // cache key regardless of the client's key order.
+    req.machine_spec_json = write_json(*spec);
+    std::string spec_error;
+    if (!parse_machine_spec(req.machine_spec_json, &spec_machine,
+                            &spec_error)) {
+      result.error = spec_error;
+      return result;
+    }
+    devices_fallback = spec_machine.num_devices;
+  }
   req.comm_model = obj.get_string("comm_model", "simple");
   std::string err;
-  if (!read_i64(obj, "devices", 1, 1 << 20, 8, &req.devices, &err) ||
+  if (!read_i64(obj, "devices", 1, 1 << 20, devices_fallback, &req.devices,
+                &err) ||
       !read_i64(obj, "beam_width", 1, 1 << 20, 256, &req.beam_width, &err) ||
       !read_double(obj, "memory_gb", 0.0, 1e9, 0.0, &req.memory_gb, &err) ||
       !read_double(obj, "deadline_ms", 0.0, 1e9, 0.0, &req.deadline_ms,
                    &err)) {
     result.error = err;
+    return result;
+  }
+  if (!req.machine_spec_json.empty() &&
+      req.devices != spec_machine.num_devices) {
+    result.error = "field 'devices' (" + std::to_string(req.devices) +
+                   ") does not match the machine_spec device count (" +
+                   std::to_string(spec_machine.num_devices) + ")";
     return result;
   }
   result.ok = true;

@@ -12,7 +12,12 @@
 //   "zoo": NAME        — a built-in benchmark graph (src/models), or
 //   "model": TEXT      — an inline pase-model v1 description
 //   "id": STRING       — client tag echoed back verbatim
-//   "machine": 1080ti|2080ti|mixed (default 1080ti)
+//   "machine": 1080ti|2080ti|mixed|mixed_pod|multi_tier (default 1080ti)
+//   "machine_spec": {...} — an inline heterogeneous machine description
+//                        (the machine-spec JSON object of
+//                        src/hetero/machine_file.h); exclusive with
+//                        "machine". "devices" defaults to the spec's count
+//                        and, when given, must match it.
 //   "devices": N       — cluster size p (default 8)
 //   "memory_gb": G     — per-device memory cap (0 = unlimited)
 //   "deadline_ms": D   — per-request budget (0 = server default; values
@@ -54,6 +59,10 @@ struct ServeRequest {
   std::string zoo;         ///< zoo graph name (exclusive with model_text)
   std::string model_text;  ///< inline pase-model source
   std::string machine = "1080ti";
+  /// Canonical (write_json) rendering of an inline "machine_spec" object;
+  /// empty = named machine. Canonicalizing here makes byte-equal specs
+  /// dedupe/cache together regardless of client key order or whitespace.
+  std::string machine_spec_json;
   i64 devices = 8;
   double memory_gb = 0.0;
   double deadline_ms = 0.0;  ///< 0 = server default

@@ -16,6 +16,8 @@
 #include "cost/cost_cache.h"
 #include "cost/cost_model.h"
 #include "cost/machine.h"
+#include "hetero/hetero.h"
+#include "hetero/machine_file.h"
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
 #include "models/models.h"
@@ -43,7 +45,23 @@ std::optional<MachineSpec> build_machine(const std::string& name,
   if (name == "1080ti") return MachineSpec::gtx1080ti(devices);
   if (name == "2080ti") return MachineSpec::rtx2080ti(devices);
   if (name == "mixed") return MachineSpec::mixed_cluster(devices);
+  if (name == "mixed_pod") return MachineSpec::mixed_pod(devices);
+  if (name == "multi_tier") return MachineSpec::multi_tier(devices);
   return std::nullopt;
+}
+
+/// The request's machine: the inline machine_spec when present (already
+/// validated by parse_request; re-parsed here, it cannot fail), else the
+/// named preset. nullopt only for an unknown preset name.
+std::optional<MachineSpec> resolve_machine(const ServeRequest& req) {
+  if (!req.machine_spec_json.empty()) {
+    MachineSpec m;
+    std::string error;
+    if (!parse_machine_spec(req.machine_spec_json, &m, &error))
+      return std::nullopt;
+    return m;
+  }
+  return build_machine(req.machine, req.devices);
 }
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -161,7 +179,10 @@ std::shared_ptr<DpContext> ServeCore::dp_context_for(const Graph& graph) {
 std::shared_ptr<const CommModel> ServeCore::comm_model_for(
     const ServeRequest& request) {
   u64 h = 0x9e3779b97f4a7c15ull;
-  for (const char c : request.machine) h = hash_combine(h, static_cast<u8>(c));
+  const std::string& machine_key = request.machine_spec_json.empty()
+                                       ? request.machine
+                                       : request.machine_spec_json;
+  for (const char c : machine_key) h = hash_combine(h, static_cast<u8>(c));
   h = hash_combine(h, static_cast<u64>(request.devices));
   for (const char c : request.comm_model)
     h = hash_combine(h, static_cast<u8>(c));
@@ -169,7 +190,7 @@ std::shared_ptr<const CommModel> ServeCore::comm_model_for(
   auto it = comm_models_.find(h);
   if (it != comm_models_.end()) return it->second;
   if (comm_models_.size() >= kMaxWarmMemos) comm_models_.clear();
-  const auto machine = build_machine(request.machine, request.devices);
+  const auto machine = resolve_machine(request);
   const auto kind = parse_comm_model_kind(request.comm_model);
   auto model = std::make_shared<const CommModel>(*machine, *kind);
   comm_models_[h] = model;
@@ -263,6 +284,8 @@ void ServeCore::log_event(const RequestScope& scope, const ServeRequest* req,
       ev.object["trip"] = Json::make_string(audit->trip);
     if (audit->dedup) ev.object["dedup"] = Json::make_bool(true);
     if (audit->reuse) ev.object["reuse"] = Json::make_bool(true);
+    if (!audit->machine.empty())
+      ev.object["machine"] = Json::make_string(audit->machine);
   }
   events_.append(write_json(ev));
 }
@@ -445,7 +468,8 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req,
       }
       graph = std::move(model.graph);
     }
-    if (!build_machine(req.machine, req.devices)) {
+    const auto machine = resolve_machine(req);
+    if (!machine) {
       resp.code = ResponseCode::kMalformed;
       resp.reason = "unknown machine '" + req.machine + "'";
       return finish(resp);
@@ -455,11 +479,20 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req,
       resp.reason = "unknown comm model '" + req.comm_model + "'";
       return finish(resp);
     }
+    // The machine signature joins the three telemetry surfaces the same way
+    // "seq" does: event-log field, serve.machine.* counter, and (below) the
+    // result-cache key — heterogeneous requests stay distinguishable
+    // everywhere (DESIGN.md §13).
+    audit.machine = machine_signature(*machine);
+    metrics_.add_counter("serve.machine." + audit.machine, 1);
   }
 
   ResultKey key;
   key.graph_sig = graph_signature(graph);
-  key.machine = req.machine;
+  // Inline specs key by their canonical JSON — two requests share a result
+  // only when their machines are byte-identical.
+  key.machine =
+      req.machine_spec_json.empty() ? req.machine : req.machine_spec_json;
   key.devices = req.devices;
   key.memory_gb = req.memory_gb;
   key.comm_model = req.comm_model;
@@ -485,9 +518,11 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req,
     bool verified = true;
     if (!entry.strategy.empty()) {
       TraceSession::Span verify_span(scope.trace(), "cache_verify");
-      CostParams params = CostParams::for_machine(
-          *build_machine(req.machine, req.devices),
-          *parse_comm_model_kind(req.comm_model));
+      // hetero_cost_params, not for_machine: verify-on-hit must re-price
+      // with exactly the params run_solve used or every hetero hit would
+      // read as poisoned.
+      CostParams params = hetero_cost_params(
+          *resolve_machine(req), *parse_comm_model_kind(req.comm_model));
       if (params.comm) params.comm = comm_model_for(req);
       CostModel cost(graph, params);
       auto shared_cache = cost_cache_for(key, graph);
@@ -669,9 +704,9 @@ ServeCore::SolveOutcome ServeCore::run_solve(
 
   DpOptions options;
   options.config_options.max_devices = req.devices;
-  const MachineSpec machine = *build_machine(req.machine, req.devices);
+  const MachineSpec machine = *resolve_machine(req);
   const CommModelKind comm_kind = *parse_comm_model_kind(req.comm_model);
-  options.cost_params = CostParams::for_machine(machine, comm_kind);
+  options.cost_params = hetero_cost_params(machine, comm_kind);
   if (options.cost_params.comm)
     options.cost_params.comm = comm_model_for(req);  // warm memo
   if (req.memory_gb > 0)

@@ -232,6 +232,11 @@ class ServeCore {
     bool dedup = false;    ///< joined another request's flight
     bool admitted = false;  ///< this request was the flight leader
     bool reuse = false;     ///< delta re-solve reused a warm DpContext
+    /// Machine signature (src/hetero machine_signature, e.g. "1080Ti/p8",
+    /// "MixedPod/p8/het"): lands in the event-log "machine" field and the
+    /// serve.machine.* counters so heterogeneous requests are
+    /// distinguishable in rollups. Empty until the machine validates.
+    std::string machine;
   };
 
   ServeResponse handle_solve(const ServeRequest& request, RequestScope& scope,

@@ -8,11 +8,13 @@
 namespace pase {
 
 Simulator::Simulator(const Graph& graph, MachineSpec machine,
-                     CommModelKind comm_kind)
+                     CommModelKind comm_kind, bool hetero_aware)
     : graph_(&graph), machine_(std::move(machine)),
       params_(CostParams::for_machine(machine_)),
       comm_(machine_, comm_kind),
-      topo_order_(graph.topological_order()) {}
+      topo_order_(graph.topological_order()) {
+  if (hetero_aware) hetero_.emplace(machine_);
+}
 
 double Simulator::transfer_time(double bytes, i64 group) const {
   return comm_.point_to_point_time(bytes, group);
@@ -95,10 +97,17 @@ SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace,
       start = std::max(start, avail[static_cast<size_t>(d)]);
 
     // On heterogeneous clusters the layer finishes when its slowest
-    // occupied device does.
+    // occupied device does; in hetero-aware mode the degree fastest
+    // devices take proportionally sized shards and finish together, so the
+    // layer runs at the sum of their peaks (W / sum_top-g(f)).
     const double compute_s =
-        layer_flops(node, cfg, params_) /
-        (machine_.prefix_weakest_flops(degree) * machine_.compute_efficiency);
+        hetero_ ? layer_flops(node, cfg, params_) *
+                      static_cast<double>(degree) /
+                      (hetero_->effective_flops(degree) *
+                       machine_.compute_efficiency)
+                : layer_flops(node, cfg, params_) /
+                      (machine_.prefix_weakest_flops(degree) *
+                       machine_.compute_efficiency);
     double comm_s = 0.0;
     for (const CollectiveComm& c : layer_collectives(node, cfg, params_)) {
       switch (c.kind) {

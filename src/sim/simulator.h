@@ -20,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "cost/cost_model.h"
 #include "cost/machine.h"
 #include "graph/graph.h"
+#include "hetero/hetero.h"
 
 namespace pase {
 
@@ -77,8 +79,16 @@ class Simulator {
   /// formulas bit-exactly; kAuto and the named algorithms price every
   /// CollectiveComm through the same alpha-beta library the analytical
   /// cost model can attach, keeping the two consistent.
+  ///
+  /// `hetero_aware` opts into the src/hetero execution model: a degree-g
+  /// layer runs on the g *fastest* devices (fastest-first placement) with
+  /// proportionally sized shards, so its compute time is W / sum_top-g(f)
+  /// instead of the even-shard (W/g) / prefix_weakest. On a uniform
+  /// machine the two coincide and the flag is a no-op; off by default so
+  /// every legacy caller keeps bit-identical results.
   Simulator(const Graph& graph, MachineSpec machine,
-            CommModelKind comm_kind = CommModelKind::kSimple);
+            CommModelKind comm_kind = CommModelKind::kSimple,
+            bool hetero_aware = false);
 
   /// Simulates one training step under `phi`; optionally records the
   /// per-layer timeline and/or applies a fault perturbation to every
@@ -110,6 +120,9 @@ class Simulator {
   CostParams params_;
   CommModel comm_;
   std::vector<NodeId> topo_order_;
+  /// Engaged in hetero-aware mode: fastest-first placement + proportional
+  /// shards (see the constructor comment).
+  std::optional<HeteroModel> hetero_;
 };
 
 }  // namespace pase

@@ -237,5 +237,61 @@ TEST(Determinism, AutoCommModelBitIdenticalAcrossThreads) {
   }
 }
 
+// --- Multi-tier fabrics (src/hetero threading) ----------------------------
+
+TEST(CommTiers, TwoLevelTiersReproduceLegacyByteIdentically) {
+  // Tiers spelling out exactly the legacy intra/inter pair (same spans,
+  // same bandwidths, same latency) must price every collective to the
+  // exact same double as the tier-free machine.
+  const MachineSpec plain = MachineSpec::gtx1080ti(32);
+  MachineSpec tiered = plain;
+  tiered.link_tiers = {
+      {plain.devices_per_node, plain.intra_node_bandwidth,
+       plain.link_latency_s},
+      {32, plain.inter_node_bandwidth, plain.link_latency_s}};
+  for (const CommModelKind kind :
+       {CommModelKind::kSimple, CommModelKind::kAuto,
+        CommModelKind::kHierarchical}) {
+    const CommModel a(plain, kind);
+    const CommModel b(tiered, kind);
+    for (const Collective c :
+         {Collective::kAllReduce, Collective::kAllGather,
+          Collective::kBroadcast, Collective::kAllToAll}) {
+      for (const double bytes : {512.0, 1e6, 3e8}) {
+        for (const i64 group : {2, 8, 16, 32}) {
+          EXPECT_EQ(a.collective_time(c, bytes, group),
+                    b.collective_time(c, bytes, group))
+              << collective_name(c) << " " << bytes << "B x" << group;
+        }
+      }
+    }
+    for (const i64 group : {2, 8, 32})
+      EXPECT_EQ(a.point_to_point_time(1e6, group),
+                b.point_to_point_time(1e6, group));
+  }
+}
+
+TEST(CommTiers, GroupsPayTheirCoveringTier) {
+  // multi_tier(32): PCIe island (8 @ 12 GB/s), IB rack (16 @ 7 GB/s),
+  // pod spine (32 @ 3 GB/s). A bandwidth-bound all-gather's time scales
+  // inversely with the covering tier's bandwidth.
+  const CommModel comm(MachineSpec::multi_tier(32), CommModelKind::kSimple);
+  const double bytes = 1e9;  // latency terms negligible
+  const double island = comm.collective_time(Collective::kAllGather, bytes, 8);
+  const double rack = comm.collective_time(Collective::kAllGather, bytes, 16);
+  const double spine =
+      comm.collective_time(Collective::kAllGather, bytes, 32);
+  // (g-1)/g wire bytes over the tier link: island ~ (7/8)/12, rack ~
+  // (15/16)/7, spine ~ (31/32)/3.
+  // Latency terms shift the ratios by ~1e-4; band accordingly.
+  EXPECT_NEAR(rack / island, (15.0 / 16.0) / 7e9 / ((7.0 / 8.0) / 12e9),
+              2e-3);
+  EXPECT_NEAR(spine / island, (31.0 / 32.0) / 3e9 / ((7.0 / 8.0) / 12e9),
+              2e-3);
+  // Point-to-point follows the same tier selection.
+  EXPECT_NEAR(comm.point_to_point_time(bytes, 8), bytes / 12e9, 1e-4);
+  EXPECT_NEAR(comm.point_to_point_time(bytes, 32), bytes / 3e9, 1e-3);
+}
+
 }  // namespace
 }  // namespace pase

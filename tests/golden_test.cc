@@ -58,10 +58,15 @@ std::string temp_dir() {
 /// the scratch paths of written files.
 std::string normalize(std::string text, const std::string& scratch) {
   // Replace every occurrence of the scratch dir first, so path suffixes
-  // stay comparable ("<TMP>/metrics.json").
+  // stay comparable ("<TMP>/metrics.json"). Ditto the source dir, which
+  // the CLI echoes for --machine-spec files.
   for (size_t at = text.find(scratch); at != std::string::npos;
        at = text.find(scratch, at))
     text.replace(at, scratch.size(), "<TMP>");
+  const std::string src = PASE_SOURCE_DIR;
+  for (size_t at = text.find(src); at != std::string::npos;
+       at = text.find(src, at))
+    text.replace(at, src.size(), "<SRC>");
 
   std::istringstream in(text);
   std::string out, line;
@@ -127,6 +132,9 @@ INSTANTIATE_TEST_SUITE_P(
                 "%SRC%/tools/dense_model.pase --devices 8 --threads 2"},
         CliCase{"valid_tiny.txt",
                 "%SRC%/tests/corpus/valid_tiny.pase --devices 4"},
+        CliCase{"valid_tiny_machine_spec.txt",
+                "%SRC%/tests/corpus/valid_tiny.pase --machine-spec "
+                "%SRC%/tests/corpus/machine_valid.json"},
         CliCase{"zoo_alexnet_p8.txt",
                 "%SRC%/tests/corpus/zoo_alexnet.pase --devices 8 "
                 "--threads 2 --baseline"},

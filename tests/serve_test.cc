@@ -116,6 +116,48 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
           .ok);
 }
 
+TEST(ServeProtocol, InlineMachineSpecIsCanonicalizedAndValidated) {
+  // Two spellings of one spec — different key order and whitespace — must
+  // canonicalize to the same machine_spec_json (the cache/dedupe key).
+  const auto a = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"machine_spec\":"
+      "{\"devices\":4,\"peak_flops\":11.3e12,\"link_bandwidth\":7e9}}");
+  const auto b = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",  \"machine_spec\": "
+      "{\"link_bandwidth\":7e9, \"peak_flops\":11.3e12, \"devices\":4}}");
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_FALSE(a.request.machine_spec_json.empty());
+  EXPECT_EQ(a.request.machine_spec_json, b.request.machine_spec_json);
+  // "devices" defaults to the spec's count.
+  EXPECT_EQ(a.request.devices, 4);
+
+  // Exclusive with "machine".
+  const auto both = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"machine\":\"2080ti\","
+      "\"machine_spec\":{\"devices\":4,\"peak_flops\":1e12,"
+      "\"link_bandwidth\":1e9}}");
+  EXPECT_FALSE(both.ok);
+  EXPECT_NE(both.error.find("at most one"), std::string::npos);
+
+  // An explicit "devices" must match the spec's count.
+  const auto mismatch = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"devices\":8,\"machine_spec\":"
+      "{\"devices\":4,\"peak_flops\":1e12,\"link_bandwidth\":1e9}}");
+  EXPECT_FALSE(mismatch.ok);
+  EXPECT_NE(mismatch.error.find("does not match"), std::string::npos);
+
+  // Spec validation errors surface as the parse error.
+  const auto bad = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"machine_spec\":"
+      "{\"devices\":4,\"peak_flops\":1e12}}");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("no link given"), std::string::npos);
+  EXPECT_FALSE(
+      parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\",\"machine_spec\":7}")
+          .ok);
+}
+
 TEST(ServeProtocol, ResponseLineIsCanonical) {
   ServeResponse resp;
   resp.code = ResponseCode::kShed;
@@ -294,6 +336,74 @@ TEST(ServeCore, RepeatQueryHitsCacheByteIdentically) {
   EXPECT_EQ(first->get_number("cost"), second->get_number("cost"));
   EXPECT_EQ(core.metrics().counter("serve.cache.hits"), 1u);
   EXPECT_EQ(core.metrics().counter("serve.cache.misses"), 1u);
+}
+
+TEST(ServeCore, InlineUniformSpecMatchesNamedMachineBitExactly) {
+  // A machine_spec spelling the 1080Ti preset's numbers must serve the
+  // same cost and strategy bytes as the named machine (the degenerate-
+  // uniform contract, end to end through the serve path).
+  ServeCore core(quiet_options());
+  const auto named = parse_json(core.handle_line(solve_line("mlp", 4)));
+  const auto spec = parse_json(core.handle_line(solve_line(
+      "mlp", 4,
+      ",\"machine_spec\":{\"name\":\"1080Ti\",\"devices\":4,"
+      "\"devices_per_node\":8,\"peak_flops\":11.3e12,"
+      "\"intra_node_bandwidth\":12e9,\"inter_node_bandwidth\":7e9,"
+      "\"link_bandwidth\":7e9,\"gradient_comm_discount\":0.15}")));
+  ASSERT_TRUE(named.has_value() && spec.has_value());
+  ASSERT_EQ(named->get_string("code"), "ok");
+  ASSERT_EQ(spec->get_string("code"), "ok");
+  EXPECT_EQ(named->get_number("cost"), spec->get_number("cost"));
+  EXPECT_EQ(named->get_string("strategy"), spec->get_string("strategy"));
+  // Distinct result-cache keys (the named machine vs the spec JSON), so
+  // the spec solve was a miss, not a hit on the named entry.
+  EXPECT_EQ(spec->get_string("cache"), "miss");
+  // Both solves rolled up under the same machine signature.
+  EXPECT_EQ(core.metrics().counter("serve.machine.1080Ti/p4"), 2u);
+}
+
+TEST(ServeCore, EquivalentSpecSpellingsShareOneCacheEntry) {
+  ServeCore core(quiet_options());
+  const char* spec_a =
+      ",\"machine_spec\":{\"devices\":4,\"peak_flops\":11.3e12,"
+      "\"link_bandwidth\":7e9}";
+  // Same spec, different key order: canonicalization maps both requests
+  // to one result-cache key.
+  const char* spec_b =
+      ",\"machine_spec\":{\"link_bandwidth\":7e9,\"devices\":4,"
+      "\"peak_flops\":11.3e12}";
+  const auto first = parse_json(core.handle_line(solve_line("mlp", 4, spec_a)));
+  const auto second =
+      parse_json(core.handle_line(solve_line("mlp", 4, spec_b)));
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_EQ(first->get_string("cache"), "miss");
+  EXPECT_EQ(second->get_string("cache"), "hit");
+  EXPECT_EQ(first->get_string("strategy"), second->get_string("strategy"));
+}
+
+TEST(ServeCore, HeterogeneousSpecSolvesAndLogsHetSignature) {
+  ServeOptions options = quiet_options();
+  ServeCore core(options);
+  const auto r = parse_json(core.handle_line(solve_line(
+      "mlp", 4,
+      ",\"machine_spec\":{\"name\":\"Pod\",\"devices\":4,"
+      "\"device_flops\":[2e12,2e12,1e12,1e12],\"link_bandwidth\":7e9}")));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->get_string("code"), "ok");
+  EXPECT_EQ(core.metrics().counter("serve.machine.Pod/p4/het"), 1u);
+  // The event-log line carries the same signature.
+  const std::vector<std::string> tail = core.event_log().tail();
+  ASSERT_FALSE(tail.empty());
+  const auto ev = parse_json(tail.back());
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->get_string("machine"), "Pod/p4/het");
+  // Named hetero presets route the same way.
+  const auto pod =
+      parse_json(core.handle_line(solve_line(
+          "mlp", 8, ",\"machine\":\"mixed_pod\"")));
+  ASSERT_TRUE(pod.has_value());
+  EXPECT_EQ(pod->get_string("code"), "ok");
+  EXPECT_EQ(core.metrics().counter("serve.machine.MixedPod/p8/het"), 1u);
 }
 
 TEST(ServeCore, MalformedModelAndUnknownNamesAreClassified) {
@@ -484,10 +594,12 @@ TEST(ServeObs, EventLogLineIsCanonicalWithExactSchema) {
   std::vector<std::string> keys;
   for (const auto& [k, v] : miss->object) keys.push_back(k);
   const std::vector<std::string> want = {
-      "cache",  "code",         "deadline_ms", "id",  "op",
-      "queue_ms", "remaining_ms", "seq",         "solve_ms", "total_ms"};
+      "cache",    "code", "deadline_ms",  "id",  "machine",
+      "op",       "queue_ms", "remaining_ms", "seq", "solve_ms",
+      "total_ms"};
   EXPECT_EQ(keys, want);
   EXPECT_EQ(miss->get("op")->string, "solve");
+  EXPECT_EQ(miss->get("machine")->string, "1080Ti/p4");
   EXPECT_EQ(miss->get("code")->string, "ok");
   EXPECT_EQ(miss->get("cache")->string, "miss");
   EXPECT_EQ(miss->get("id")->string, "q1");

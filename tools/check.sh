@@ -70,6 +70,26 @@ expect 0 "oversized model without a limit" -- \
 expect 1 "oversized model under --max-model-nodes 8" -- \
   "$ROOT/tests/corpus/oversized.pase" --devices 4 --max-model-nodes 8
 
+note "machine-spec corpus (--machine-spec, src/hetero/machine_file.h)"
+expect 0 "valid machine spec (heterogeneous control)" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" \
+  --machine-spec "$ROOT/tests/corpus/machine_valid.json"
+for f in machine_negative_flops machine_missing_link \
+         machine_count_mismatch; do
+  expect 1 "corpus $f" -- \
+    "$ROOT/tests/corpus/valid_tiny.pase" \
+    --machine-spec "$ROOT/tests/corpus/$f.json"
+done
+expect 1 "unreadable machine spec" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" \
+  --machine-spec "$ROOT/tests/corpus/no_such_machine.json"
+expect 2 "machine spec combined with --machine" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --machine 2080ti \
+  --machine-spec "$ROOT/tests/corpus/machine_valid.json"
+expect 2 "machine spec vs --devices mismatch" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 8 \
+  --machine-spec "$ROOT/tests/corpus/machine_valid.json"
+
 note "CLI usage errors"
 expect 2 "no arguments" --
 expect 2 "bad numeric flag" -- \
@@ -400,6 +420,48 @@ table above; PASE_UPDATE_BENCH=1 tools/check.sh to accept a new baseline)"
   fi
 else
   bad "scaling gate: bench_table1 / bench_gate not built"
+fi
+
+# Heterogeneity gate: ablation_heterogeneous replays DataParallel /
+# homogeneous-assumption PaSE / hetero-aware PaSE strategies under the
+# heterogeneity-aware simulator on the mixed-pod and multi-tier scenarios.
+# The binary enforces the win claims itself (hetero-aware search dominates
+# the homogeneous assumption on the mixed pod and wins on geometric mean
+# everywhere) and exits non-zero on violation; the gate then diffs the
+# simulated step times against BENCH_hetero.json. Those numbers are
+# deterministic (no wall-clock anywhere), so a single run suffices and any
+# drift means the cost/comm/hetero model itself changed — refresh with
+# PASE_UPDATE_BENCH=1 tools/check.sh after an intentional model change.
+if [ -f "$BENCH_BUILD/CMakeCache.txt" ]; then
+  note "building ablation_heterogeneous (-j$JOBS)"
+  cmake --build "$BENCH_BUILD" -j "$JOBS" --target ablation_heterogeneous \
+        >> "$BENCH_BUILD.build.log" 2>&1 \
+    || bad "ablation_heterogeneous build (see $BENCH_BUILD.build.log)"
+fi
+BENCH_HETERO="$BENCH_BUILD/bench/ablation_heterogeneous"
+if [ -x "$BENCH_HETERO" ] && [ -x "$BENCH_GATE" ]; then
+  note "running ablation_heterogeneous (win claims + gate)"
+  if "$BENCH_HETERO" > "$OBS_TMP/bench_hetero.json" \
+       2> "$OBS_TMP/bench_hetero.log"; then
+    if [ -n "${PASE_UPDATE_BENCH:-}" ]; then
+      "$BENCH_GATE" --update "$ROOT/BENCH_hetero.json" \
+          "$OBS_TMP/bench_hetero.json" \
+        || bad "hetero gate: baseline refresh failed"
+      note "refreshed BENCH_hetero.json (PASE_UPDATE_BENCH)"
+    elif "$BENCH_GATE" "$ROOT/BENCH_hetero.json" \
+           "$OBS_TMP/bench_hetero.json"; then
+      note "ok hetero gate (simulated step times match BENCH_hetero.json)"
+    else
+      bad "hetero gate: simulated step times drifted vs BENCH_hetero.json \
+(the cost/comm/hetero model changed; PASE_UPDATE_BENCH=1 tools/check.sh to \
+accept)"
+    fi
+  else
+    bad "ablation_heterogeneous failed a win claim or crashed \
+(see $OBS_TMP/bench_hetero.log)"
+  fi
+else
+  bad "hetero gate: ablation_heterogeneous / bench_gate not built"
 fi
 
 note "docs gate: README.md vs pase_cli --help"

@@ -2,6 +2,7 @@
 // format (see src/io/model_parser.h), no recompilation needed.
 //
 //   pase_cli <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]
+//            [--machine-spec FILE]
 //            [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]
 //            [--deadline SECONDS] [--strict] [--beam-width N]
 //            [--threads N] [--no-cost-cache] [--comm-model MODE]
@@ -22,6 +23,14 @@
 // default; results are bit-identical at any setting); --no-cost-cache
 // disables the memoization of layer/transfer costs across structurally
 // identical layers.
+//
+// Heterogeneous clusters: --machine-spec FILE loads a machine description
+// (JSON; src/hetero/machine_file.h) with per-device FLOPS and per-link
+// bandwidth tiers. The search then prices uneven proportional shards and
+// the actual bottleneck link of every placed group (src/hetero), and the
+// simulator replays strategies under the same heterogeneous timing. A
+// uniform spec reproduces the named-machine results bit-identically.
+// Exclusive with --machine; --devices, when given, must match the spec.
 //
 // Collective pricing: --comm-model {simple|auto|ring|tree|hd|hier} selects
 // how internal collectives are priced by both the analytical cost model
@@ -68,6 +77,8 @@
 #include "core/strategy.h"
 #include "fault/fault_model.h"
 #include "fault/robustness.h"
+#include "hetero/hetero.h"
+#include "hetero/machine_file.h"
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
 #include "models/models.h"
@@ -88,6 +99,7 @@ void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(
       out,
       "usage: %s <model-file> [--devices N] [--machine 1080ti|2080ti|mixed]\n"
+      "          [--machine-spec FILE]\n"
       "          [--memory-gb G] [--baseline] [--export FILE] [--trace FILE]\n"
       "          [--trace-out FILE] [--metrics-out FILE]\n"
       "          [--metrics-format json|prom]\n"
@@ -125,6 +137,13 @@ void print_usage(std::FILE* out, const char* argv0) {
       "            layers before any solver work (0 = unlimited, the\n"
       "            default); dimension products that would overflow 64-bit\n"
       "            table sizing are always rejected\n"
+      "machine spec: --machine-spec FILE loads a heterogeneous machine\n"
+      "            description (JSON: per-device FLOPS, per-link bandwidth\n"
+      "            tiers; src/hetero/machine_file.h). Search and simulation\n"
+      "            then price uneven shards and the bottleneck link of each\n"
+      "            placed group; a uniform spec reproduces the named\n"
+      "            machines bit-identically. Exclusive with --machine;\n"
+      "            --devices, when given, must match the spec's count\n"
       "comm model: collective pricing for costs and simulation — simple\n"
       "            (paper's ring-bytes form, the default), auto (cheapest\n"
       "            algorithm per message), or a forced algorithm family\n"
@@ -177,7 +196,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const char* model_path = nullptr;
   i64 devices = 8;
+  bool devices_given = false;
   std::string machine_name = "1080ti";
+  bool machine_given = false;
+  const char* machine_spec_path = nullptr;
   double memory_gb = 0.0;
   bool baseline = false;
   const char* export_path = nullptr;
@@ -216,9 +238,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--devices") == 0) {
       if (!value(&v) || !parse_i64_flag(arg, v, 1, &devices))
         return kExitUsage;
+      devices_given = true;
     } else if (std::strcmp(arg, "--machine") == 0) {
       if (!value(&v)) return kExitUsage;
       machine_name = v;
+      machine_given = true;
+    } else if (std::strcmp(arg, "--machine-spec") == 0) {
+      if (!value(&machine_spec_path)) return kExitUsage;
     } else if (std::strcmp(arg, "--memory-gb") == 0) {
       if (!value(&v) || !parse_double_flag(arg, v, &memory_gb))
         return kExitUsage;
@@ -351,7 +377,29 @@ int main(int argc, char** argv) {
   }
 
   MachineSpec machine;
-  if (machine_name == "1080ti") {
+  if (machine_spec_path) {
+    if (machine_given) {
+      std::fprintf(stderr,
+                   "error: give either --machine or --machine-spec, not "
+                   "both\n");
+      return kExitUsage;
+    }
+    std::string spec_error;
+    if (!load_machine_spec(machine_spec_path, &machine, &spec_error)) {
+      std::fprintf(stderr, "error: %s: %s\n", machine_spec_path,
+                   spec_error.c_str());
+      return kExitRuntime;
+    }
+    if (devices_given && devices != machine.num_devices) {
+      std::fprintf(stderr,
+                   "error: --devices %lld does not match the machine-spec "
+                   "device count %lld\n",
+                   static_cast<long long>(devices),
+                   static_cast<long long>(machine.num_devices));
+      return kExitUsage;
+    }
+    devices = machine.num_devices;
+  } else if (machine_name == "1080ti") {
     machine = MachineSpec::gtx1080ti(devices);
   } else if (machine_name == "2080ti") {
     machine = MachineSpec::rtx2080ti(devices);
@@ -397,7 +445,11 @@ int main(int argc, char** argv) {
   // is the best one for the cluster as it actually is.
   const MachineSpec search_machine =
       fault_aware ? fault_model.perturb(machine) : machine;
-  options.cost_params = CostParams::for_machine(search_machine, comm_kind);
+  // hetero_cost_params degenerates to CostParams::for_machine on uniform
+  // machines (bit-identical); on heterogeneous ones (a --machine-spec with
+  // mixed devices, or a fault-perturbed cluster) it prices uneven
+  // proportional shards and per-group bottleneck links (src/hetero).
+  options.cost_params = hetero_cost_params(search_machine, comm_kind);
   options.deadline_seconds = deadline_seconds;
   options.degraded_fallback = !strict;
   options.beam_width = beam_width;
@@ -450,7 +502,12 @@ int main(int argc, char** argv) {
       (fault_aware ? " [fault-aware]" : "");
   std::fputs(strategy_table(title, graph, r.strategy).c_str(), stdout);
 
-  const Simulator sim(graph, machine, comm_kind);
+  const HeteroModel hetero(machine);
+  const Simulator sim(graph, machine, comm_kind, !hetero.uniform());
+  if (machine_spec_path)
+    std::printf("machine spec: %s (%s, %lld devices%s)\n", machine_spec_path,
+                machine.name.c_str(), static_cast<long long>(devices),
+                hetero.uniform() ? "" : ", heterogeneous");
   std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms%s\n",
               static_cast<long long>(graph.num_nodes()),
               static_cast<long long>(r.max_configs),

@@ -20,9 +20,12 @@
 // response — including retried sheds — is joined against the log by the
 // server-assigned "seq" (and its "req<k>" id): the logged code must match
 // the observed code, the logged op/id must match what was sent, the
-// logged total_ms must fit inside the client-measured latency, and no
-// log line may be missing or duplicated. This catches dropped or doubled
-// event lines that per-code totals alone would miss.
+// logged machine signature must match the machine the request named
+// (every request sends "machine":"1080ti" explicitly, so the log must
+// show "1080Ti/p<devices>"), the logged total_ms must fit inside the
+// client-measured latency, and no log line may be missing or duplicated.
+// This catches dropped or doubled event lines that per-code totals alone
+// would miss.
 //
 // Exit codes: 0 all requests classified and determinism held, 1 runtime
 // error (connect failure, crash-like disconnect, determinism or event-log
@@ -192,6 +195,9 @@ struct ClientRecord {
   /// Every (server seq, code) this request saw, retried sheds included.
   std::vector<std::pair<i64, std::string>> attempts;
   double latency_ms = -1.0;  ///< first send -> final classified response
+  /// Signature the daemon must log for this request's machine
+  /// ("1080Ti/p<devices>" — every request names "1080ti" explicitly).
+  std::string machine;
 };
 
 /// Joins the daemon's event log against the client-observed responses.
@@ -214,7 +220,7 @@ u64 cross_check_event_log(const std::string& path,
 
   // One server record per seq; a duplicated line is itself a violation.
   struct ServerRecord {
-    std::string op, id, code;
+    std::string op, id, code, machine;
     double total_ms = 0.0;
   };
   std::map<i64, ServerRecord> by_seq;
@@ -237,6 +243,7 @@ u64 cross_check_event_log(const std::string& path,
     rec.op = parsed->get_string("op");
     rec.id = parsed->get_string("id");
     rec.code = parsed->get_string("code");
+    rec.machine = parsed->get_string("machine");
     rec.total_ms = parsed->get_number("total_ms", 0.0);
     const i64 s = static_cast<i64>(seq->number);
     if (!by_seq.emplace(s, std::move(rec)).second)
@@ -265,6 +272,10 @@ u64 cross_check_event_log(const std::string& path,
       if (srv.code != code)
         flag(want_id + " seq " + std::to_string(seq) + ": logged code '" +
              srv.code + "' != observed '" + code + "'");
+      if (!rec.machine.empty() && srv.machine != rec.machine)
+        flag(want_id + " seq " + std::to_string(seq) +
+             ": logged machine '" + srv.machine + "' != requested '" +
+             rec.machine + "'");
       // The server handled this attempt strictly inside the client's
       // first-send -> final-receive window (same steady clock family);
       // 1ms slack covers measurement granularity only.
@@ -407,6 +418,11 @@ int main(int argc, char** argv) {
       req.object["id"] = Json::make_string("req" + std::to_string(k));
       req.object["zoo"] = Json::make_string(zoo);
       req.object["devices"] = Json::make_number(static_cast<double>(p));
+      // Name the machine explicitly so the event-log cross-check can pin
+      // the daemon's logged machine signature to what was asked for.
+      req.object["machine"] = Json::make_string("1080ti");
+      records[static_cast<size_t>(k)].machine =
+          "1080Ti/p" + std::to_string(p);
       if (deadline_ms > 0.0)
         req.object["deadline_ms"] = Json::make_number(deadline_ms);
       const std::string line = write_json(req);
