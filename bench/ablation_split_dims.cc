@@ -1,0 +1,207 @@
+// Widened-strategy-space ablation: what do the spatial/channel split gates
+// (--split-dims) and the pipeline-stage dimension (--pipeline-stages) buy
+// over the paper's batch/parameter space, on workloads built to need them?
+//
+// Two scenarios:
+//   widened_resnet64     resnet_large_p (small-batch ResNet-50) on 64x
+//                        1080Ti: the batch axis carries at most 16-way
+//                        parallelism, so the legacy space leans on
+//                        parameter splits and their gradient all-reduces.
+//                        Opening the spatial/channel gates (halo-exchange
+//                        pricing, src/comm) lets the DP shard activation
+//                        planes instead. Both strategies are replayed
+//                        under the discrete-event simulator.
+//   pipelined_tfm64      transformer_pipelined (a deep uniform stack) on
+//                        the 64-device mixed cluster with auto collective
+//                        pricing: the full-cluster solve pays cross-tier
+//                        all-reduces, while cutting the stack into stages
+//                        keeps every solve inside a tier. Compared via the
+//                        pipeline step model (steady-state bottleneck plus
+//                        fill/drain) against the single-stage reference.
+//
+// Structural claims enforced here (exit 1, so check.sh fails before the
+// gate runs):
+//   - the widened space never costs more than the legacy space under the
+//     DP's own metric (it is a strict superset of the search space);
+//   - the widened strategy strictly beats the legacy one under simulation
+//     on widened_resnet64, and auto pipelining strictly beats the
+//     single-stage reference on pipelined_tfm64 — the acceptance
+//     criterion's ">= 1 zoo scenario" with margin;
+//   - auto stage search never loses to no-pipeline (it includes it).
+//
+// Output is one canonical JSON object on stdout (redirect to
+// BENCH_splits.json); the human table goes to stderr. Like the
+// heterogeneity ablation there is NO cpu_calib_ms: every gated number is a
+// deterministic DP cost, simulated step time, or analytic pipeline step,
+// so the gate compares exact reproducible values.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hetero/hetero.h"
+#include "pipeline/pipeline.h"
+#include "serve/json.h"
+#include "util/table.h"
+
+using namespace pase;
+using pase::serve::Json;
+using pase::serve::write_json;
+
+int main() {
+  bool ok = true;
+  char buf[64];
+  Json report = Json::make_object();
+  report.object["bench"] = Json::make_string("split_dims_ablation");
+
+  // -------------------------------------------------------------------
+  // widened_resnet64: legacy vs widened per-layer space, simulated.
+  {
+    const MachineSpec m = MachineSpec::gtx1080ti(64);
+    const Graph graph = *models::zoo_graph("resnet_large_p");
+
+    DpOptions legacy_options = bench::dp_options(m);
+    DpOptions widened_options = legacy_options;
+    const auto widened = parse_split_dims("all");
+    widened_options.config_options.split_dims = *widened;
+
+    const DpResult legacy = find_best_strategy(graph, legacy_options);
+    const DpResult wide = find_best_strategy(graph, widened_options);
+
+    const Simulator sim(graph, m);
+    const double legacy_ms = sim.simulate(legacy.strategy).step_time_s * 1e3;
+    const double wide_ms = sim.simulate(wide.strategy).step_time_s * 1e3;
+
+    if (wide.best_cost > legacy.best_cost) {
+      std::fprintf(stderr,
+                   "FAIL: widened_resnet64: the widened space cost more "
+                   "under the DP's own metric (%.6g > %.6g) — it is a "
+                   "superset of the legacy space, this cannot happen\n",
+                   wide.best_cost, legacy.best_cost);
+      ok = false;
+    }
+    if (wide_ms >= legacy_ms) {
+      std::fprintf(stderr,
+                   "FAIL: widened_resnet64: the widened strategy did not "
+                   "strictly beat the legacy one under simulation "
+                   "(%.4f ms >= %.4f ms)\n",
+                   wide_ms, legacy_ms);
+      ok = false;
+    }
+
+    TextTable table(
+        "Split-dims ablation: resnet_large_p on 64x 1080Ti "
+        "(batch 16 — the batch axis is exhausted at p=16)");
+    table.set_header({"Space", "DP cost (FLOP-eq)", "Simulated step (ms)"});
+    std::vector<std::string> cells = {"batch,param (paper)"};
+    std::snprintf(buf, sizeof(buf), "%.6g", legacy.best_cost);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", legacy_ms);
+    cells.push_back(buf);
+    table.add_row(cells);
+    cells = {"all (+spatial/channel)"};
+    std::snprintf(buf, sizeof(buf), "%.6g", wide.best_cost);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", wide_ms);
+    cells.push_back(buf);
+    table.add_row(cells);
+    const std::string rendered = table.to_string();
+    std::fputs(rendered.c_str(), stderr);
+    std::fprintf(stderr,
+                 "widened_resnet64: DP cost gain %.3fx, simulated gain "
+                 "%.3fx\n\n",
+                 wide.best_cost > 0 ? legacy.best_cost / wide.best_cost : 0.0,
+                 wide_ms > 0 ? legacy_ms / wide_ms : 0.0);
+
+    Json entry = Json::make_object();
+    entry.object["legacy_cost"] = Json::make_number(legacy.best_cost);
+    entry.object["widened_cost"] = Json::make_number(wide.best_cost);
+    entry.object["legacy_ms"] = Json::make_number(legacy_ms);
+    entry.object["widened_ms"] = Json::make_number(wide_ms);
+    Json models_json = Json::make_object();
+    models_json.object["resnet_large_p"] = std::move(entry);
+    report.object["widened_resnet64"] = std::move(models_json);
+  }
+
+  // -------------------------------------------------------------------
+  // pipelined_tfm64: auto stage search vs the single-stage reference.
+  {
+    const MachineSpec m = MachineSpec::mixed_cluster(64);
+    const Graph graph = *models::zoo_graph("transformer_pipelined");
+
+    DpOptions solver = bench::dp_options(m);
+    solver.cost_params = hetero_cost_params(m, CommModelKind::kAuto);
+    PipelineSearchOptions popts;
+    popts.stages = 0;  // auto: every power-of-two count dividing p, plus 1
+    const PipelinedSearchResult pres =
+        find_best_pipelined_strategy(graph, m, solver, popts);
+
+    const double step_ms = pres.step_seconds * 1e3;
+    const double no_pipeline_ms = pres.no_pipeline_seconds * 1e3;
+    if (step_ms > no_pipeline_ms) {
+      std::fprintf(stderr,
+                   "FAIL: pipelined_tfm64: auto stage search lost to the "
+                   "single-stage reference it includes (%.4f ms > %.4f "
+                   "ms)\n",
+                   step_ms, no_pipeline_ms);
+      ok = false;
+    }
+    if (pres.stages < 2 || step_ms >= no_pipeline_ms) {
+      std::fprintf(stderr,
+                   "FAIL: pipelined_tfm64: pipelining did not strictly beat "
+                   "the single-stage reference (%lld stages, %.4f ms vs "
+                   "%.4f ms)\n",
+                   static_cast<long long>(pres.stages), step_ms,
+                   no_pipeline_ms);
+      ok = false;
+    }
+
+    TextTable table(
+        "Pipeline ablation: transformer_pipelined on the 64-device mixed "
+        "cluster (auto collective pricing)");
+    table.set_header({"Configuration", "Stages", "Step (ms)"});
+    std::vector<std::string> cells = {"no pipeline (pure PaSE)", "1"};
+    std::snprintf(buf, sizeof(buf), "%.3f", no_pipeline_ms);
+    cells.push_back(buf);
+    table.add_row(cells);
+    cells = {"--pipeline-stages auto"};
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(pres.stages));
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", step_ms);
+    cells.push_back(buf);
+    table.add_row(cells);
+    const std::string rendered = table.to_string();
+    std::fputs(rendered.c_str(), stderr);
+    std::fprintf(stderr,
+                 "pipelined_tfm64: %lld stages x %lld devices, pipeline "
+                 "gain %.3fx\n\n",
+                 static_cast<long long>(pres.stages),
+                 static_cast<long long>(pres.devices_per_stage),
+                 step_ms > 0 ? no_pipeline_ms / step_ms : 0.0);
+
+    Json entry = Json::make_object();
+    entry.object["step_ms"] = Json::make_number(step_ms);
+    entry.object["no_pipeline_ms"] = Json::make_number(no_pipeline_ms);
+    entry.object["stages"] =
+        Json::make_number(static_cast<double>(pres.stages));
+    Json models_json = Json::make_object();
+    models_json.object["transformer_pipelined"] = std::move(entry);
+    report.object["pipelined_tfm64"] = std::move(models_json);
+  }
+
+  // Scenario objects live at the top level: bench_gate dotted paths have
+  // at most three parts, so the path is "<scenario>.<model>.<metric>".
+  Json gated = Json::make_array();
+  for (const char* metric :
+       {"legacy_cost", "widened_cost", "legacy_ms", "widened_ms"})
+    gated.array.push_back(Json::make_string(
+        std::string("widened_resnet64.resnet_large_p.") + metric));
+  for (const char* metric : {"step_ms", "no_pipeline_ms", "stages"})
+    gated.array.push_back(Json::make_string(
+        std::string("pipelined_tfm64.transformer_pipelined.") + metric));
+  report.object["gated"] = std::move(gated);
+
+  std::printf("%s\n", write_json(report).c_str());
+  return ok ? 0 : 1;
+}

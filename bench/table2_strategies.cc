@@ -44,6 +44,43 @@ int main() {
                 static_cast<long long>(dp_layers),
                 static_cast<long long>(b.graph.num_nodes()));
   }
+  // Beyond the paper's Table II: the same search with the widened
+  // per-layer space (--split-dims all) on the small-batch large ResNet,
+  // where the batch axis alone cannot cover p = 32 and the DP reaches for
+  // spatial/channel splits (halo-exchange pricing included in Eq. (1)).
+  {
+    const Graph graph = *models::zoo_graph("resnet_large_p");
+    DpOptions widened = bench::dp_options(m);
+    widened.config_options.split_dims = *parse_split_dims("all");
+    const DpResult r = find_best_strategy(graph, widened);
+    if (r.status == DpStatus::kOk) {
+      TextTable table("resnet_large_p, widened space (--split-dims all)");
+      table.set_header({"Layers", "Dimensions", "Configuration"});
+      i64 dp_layers = 0;
+      for (const Node& n : graph.nodes()) {
+        const Config& c = r.strategy[static_cast<size_t>(n.id)];
+        bool pure_batch = true;
+        const i64 bdim = n.space.find("b");
+        for (i64 d = 0; d < c.rank(); ++d)
+          if (d != bdim && c[d] > 1) pure_batch = false;
+        if (pure_batch) {
+          ++dp_layers;
+          continue;
+        }
+        table.add_row({n.name, n.space.names(), c.to_string()});
+      }
+      table.add_rule();
+      table.add_row({"(all other layers)", "-",
+                     "pure data parallelism, batch split"});
+      table.print();
+      std::printf("  %lld of %lld layers use pure data parallelism\n\n",
+                  static_cast<long long>(dp_layers),
+                  static_cast<long long>(graph.num_nodes()));
+    } else {
+      std::printf("resnet_large_p (widened): solver ran out of memory\n\n");
+    }
+  }
+
   std::printf(
       "Legend: b batch, c in-chan/query-chan, h height/heads, w width,\n"
       "n out-chan, r/s filter dims, l RNN layers, s seq len, d embed/model\n"

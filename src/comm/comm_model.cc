@@ -99,6 +99,17 @@ double CommModel::point_to_point_time(double bytes, i64 group) const {
   return bytes / link_bw(group) + link_latency(group);
 }
 
+double CommModel::halo_exchange_time(double bytes, i64 group) const {
+  if (bytes <= 0.0 || group <= 1) return 0.0;
+  // Each device trades one boundary plane with each of its (at most) two
+  // neighbors along the split dim: two messages' latency, and `bytes` (the
+  // up+down planes together) on the link class the split group spans. The
+  // exchanges are pairwise and concurrent, so no group-size factor beyond
+  // the link class — deeper splits only hurt through slower covering links
+  // (and the shrinking per-device interior they leave behind).
+  return 2.0 * link_latency(group) + bytes / link_bw(group);
+}
+
 double CommModel::simple_time(Collective c, double bytes, i64 group) const {
   if (bytes <= 0.0 || group <= 1) return 0.0;
   const i64 dpn = devices_per_node_;

@@ -128,6 +128,13 @@ class CommModel {
   /// host) — identical in every kind, matching the legacy simulator.
   double point_to_point_time(double bytes, i64 group) const;
 
+  /// Seconds for a halo exchange: per-device boundary-plane `bytes` traded
+  /// with the two neighbors along a spatially split dim of `group` devices.
+  /// Two message latencies plus the plane bytes on the group's link class;
+  /// identical in every kind (a neighbor exchange has no algorithm choice).
+  /// Monotone in both bytes and group. 0 for unsplit dims or empty planes.
+  double halo_exchange_time(double bytes, i64 group) const;
+
   /// Seconds under one specific algorithm family, independent of kind()
   /// (kSimple excepted: it is a pricing mode, not an algorithm). Exposed
   /// for the auto-selector, tests and benches.

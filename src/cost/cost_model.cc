@@ -99,9 +99,10 @@ double layer_cost(const Node& node, const Config& config,
                   const CostParams& params) {
   if (params.comm) {
     // Comm-model pricing: all-reduces priced by the attached algorithm
-    // library on the logical tensor shard (volume_bytes), halo exchanges as
-    // point-to-point transfers; seconds are rescaled to FLOP-equivalents so
-    // the total stays on Eq. (1)'s scale.
+    // library on the logical tensor shard (volume_bytes), halo exchanges by
+    // the neighbor-exchange primitive (two message latencies + plane bytes
+    // on the split group's link class); seconds are rescaled to
+    // FLOP-equivalents so the total stays on Eq. (1)'s scale.
     double comm_flops = 0.0;
     for (const CollectiveComm& c : layer_collectives(node, config, params)) {
       const double weight =
@@ -110,7 +111,7 @@ double layer_cost(const Node& node, const Config& config,
               : 1.0;
       const double seconds =
           c.kind == CollectiveComm::Kind::kHaloExchange
-              ? params.comm->point_to_point_time(c.bytes, c.group)
+              ? params.comm->halo_exchange_time(c.bytes, c.group)
               : params.comm->collective_time(Collective::kAllReduce,
                                              c.volume_bytes, c.group);
       comm_flops += weight * seconds * params.seconds_to_flops;

@@ -71,11 +71,14 @@ Graph transformer_stack(i64 blocks, i64 batch = 8, i64 seq_len = 64,
                         i64 vocab = 8192);
 
 /// Builds a zoo model by name: the builders above with their default
-/// shapes ("alexnet", "transformer", "mlp", ...), plus the generated
+/// shapes ("alexnet", "transformer", "mlp", ...), the generated
 /// repeated-block family "transformer_stack_<N>" for N in [1, 100000]
-/// (e.g. "transformer_stack_1000"). Returns nullopt for unknown names.
-/// This is the lookup behind the strategy service's `zoo` request field
-/// and pase_cli's --zoo flag.
+/// (e.g. "transformer_stack_1000"), and the widened-space scenarios
+/// "resnet_large_p" (small-batch ResNet-50 — batch parallelism exhausts at
+/// large p, spatial/channel splits keep scaling) and
+/// "transformer_pipelined" (a deep uniform stack for --pipeline-stages).
+/// Returns nullopt for unknown names. This is the lookup behind the
+/// strategy service's `zoo` request field and pase_cli's --zoo flag.
 std::optional<Graph> zoo_graph(const std::string& name);
 
 /// A named benchmark graph.

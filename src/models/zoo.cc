@@ -19,6 +19,17 @@ std::optional<Graph> zoo_graph(const std::string& name) {
   if (name == "gnmt") return gnmt();
   // Small FC chain: cheap-query tests and warm-up probes use this.
   if (name == "mlp") return mlp(32, {256, 256, 128, 64});
+  // Widened-space scenarios (ISSUE: spatial/channel + pipeline dims).
+  // CNN at large p: batch 16 exhausts the batch axis long before a big
+  // cluster does, so spatial/channel splits are the only way to keep
+  // scaling — the LBANN motivation (--split-dims spatial,channel).
+  if (name == "resnet_large_p") return resnet50(/*batch=*/16);
+  // Deep uniform stack with heavier per-block shapes than the generated
+  // default: the natural pipelining workload (--pipeline-stages auto).
+  if (name == "transformer_pipelined")
+    return transformer_stack(/*blocks=*/8, /*batch=*/8, /*seq_len=*/128,
+                             /*d_model=*/512, /*heads=*/8, /*d_ff=*/2048,
+                             /*vocab=*/16384);
   // Generated N-block GPT-style stacks ("transformer_stack_<N>", N in
   // [1, 100000]): the repeated-structure family block collapsing and delta
   // re-solves are built for (docs/SCALING.md). The suffix must be a plain

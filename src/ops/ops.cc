@@ -42,8 +42,10 @@ Node depthwise_conv2d(const std::string& name, i64 b, i64 c, i64 h, i64 w,
                           dim("r", r, false), dim("s", s, false)});
   node.flops_per_point = 2.0;
   node.params.push_back(ParamTensor{c * r * s, {1, 4, 5}});
-  // The only contractions are the (never-split) filter dims: no reduction
-  // communication regardless of the configuration.
+  // The only contractions are the filter dims; splitting them (channel
+  // gate) leaves each device with a partial window sum that must be
+  // all-reduced. Serial filter dims — the legacy space — emit nothing.
+  node.reduction_dims = {4, 5};
   if (r > 1) node.halos.push_back(HaloSpec{2, (r - 1) / 2});
   if (s > 1) node.halos.push_back(HaloSpec{3, (s - 1) / 2});
   node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};
@@ -60,6 +62,9 @@ Node pool(const std::string& name, i64 b, i64 c, i64 h, i64 w, i64 r, i64 s,
                           dim("w", w, allow_spatial_split),
                           dim("r", r, false), dim("s", s, false)});
   node.flops_per_point = 1.0;  // one compare/accumulate per window element
+  // Splitting the pooling window (channel gate) leaves partial max/sum
+  // results that combine with an all-reduce over the window group.
+  node.reduction_dims = {4, 5};
   if (r > 1) node.halos.push_back(HaloSpec{2, (r - 1) / 2});
   if (s > 1) node.halos.push_back(HaloSpec{3, (s - 1) / 2});
   node.output = OutputSpec{b * c * h * w, {0, 1, 2, 3}};

@@ -5,6 +5,7 @@
 #include <map>
 #include <tuple>
 
+#include "cost/cost_model.h"
 #include "util/check.h"
 
 namespace pase {
@@ -161,9 +162,11 @@ PipelineResult partition_pipeline(const Graph& graph, const MachineSpec& m,
     }
   }
 
-  PASE_CHECK_MSG(!best.stages.empty(),
-                 "no feasible pipeline partition (stage_counts must divide "
-                 "the device count)");
+  // Empty stages = no feasible partition: every requested stage count was
+  // skipped (does not divide the device count, or exceeds the boundary
+  // budget) or every interval solve failed (memory filter, cancellation).
+  // Callers must check rather than trust the zeroed timing fields.
+  if (best.stages.empty()) return best;
   if (best.no_pipeline_seconds == 0.0) {
     // stage_counts did not include 1; compute the reference separately.
     DpOptions opt = options.solver;
@@ -173,6 +176,76 @@ PipelineResult partition_pipeline(const Graph& graph, const MachineSpec& m,
       best.no_pipeline_seconds = r.best_cost / effective_flops;
   }
   return best;
+}
+
+PipelinedSearchResult find_best_pipelined_strategy(
+    const Graph& graph, const MachineSpec& m, const DpOptions& solver,
+    const PipelineSearchOptions& popts) {
+  PASE_CHECK_MSG(popts.stages >= 0, "stages must be >= 0 (0 = auto)");
+  PipelinedSearchResult out;
+
+  if (popts.stages == 1) {
+    // The disabled-dimension contract: no pipeline axis means the plain
+    // solve, bit for bit — same DpResult, nothing recomputed.
+    DpOptions opt = solver;
+    opt.config_options.max_devices = m.num_devices;
+    out.dp = find_best_strategy(graph, opt);
+    const double effective_flops = m.peak_flops * m.compute_efficiency;
+    out.devices_per_stage = m.num_devices;
+    out.no_pipeline_seconds = out.dp.best_cost / effective_flops;
+    out.bottleneck_seconds = out.no_pipeline_seconds;
+    out.step_seconds = out.no_pipeline_seconds;
+    return out;
+  }
+
+  PipelineOptions options;
+  options.solver = solver;
+  options.microbatches = popts.microbatches;
+  if (popts.stages == 0) {
+    options.stage_counts.clear();
+    for (i64 s = 1; s <= std::min<i64>(m.num_devices, 8); s *= 2)
+      if (m.num_devices % s == 0) options.stage_counts.push_back(s);
+  } else {
+    PASE_CHECK_MSG(m.num_devices % popts.stages == 0,
+                   "--pipeline-stages must divide the device count");
+    options.stage_counts = {popts.stages};
+  }
+  PipelineResult pr = partition_pipeline(graph, m, options);
+  if (pr.stages.empty()) {
+    // No stage interval was solvable: either the memory filter rejected
+    // every per-stage configuration, or a cancellation token fired while
+    // the boundary DP was solving intervals.
+    if (solver.cancel && solver.cancel->load(std::memory_order_relaxed)) {
+      out.dp.status = DpStatus::kOutOfMemory;
+      out.dp.guard_reason = "cancelled during pipeline partition";
+    } else {
+      out.dp.status = DpStatus::kInfeasible;
+    }
+    return out;
+  }
+
+  out.stages = static_cast<i64>(pr.stages.size());
+  out.devices_per_stage = pr.devices_per_stage;
+  out.bottleneck_seconds = pr.bottleneck_seconds;
+  out.step_seconds = pr.step_seconds;
+  out.no_pipeline_seconds = pr.no_pipeline_seconds;
+
+  // Scatter the per-stage configs back onto original node ids and price
+  // the composed strategy with Eq. (1) so the result carries the same
+  // (strategy, cost) surface a plain solve does — the serve path's
+  // verify-on-hit and the CLI's report read these fields.
+  out.dp.status = DpStatus::kOk;
+  out.dp.strategy.assign(static_cast<size_t>(graph.num_nodes()), Config());
+  for (const PipelineStage& stage : pr.stages) {
+    PASE_CHECK(stage.strategy.size() == stage.nodes.size());
+    for (size_t i = 0; i < stage.nodes.size(); ++i)
+      out.dp.strategy[static_cast<size_t>(stage.nodes[i])] =
+          stage.strategy[i];
+  }
+  const CostModel cost(graph, solver.cost_params);
+  out.dp.best_cost = cost.total_cost(out.dp.strategy);
+  out.stage_details = std::move(pr.stages);
+  return out;
 }
 
 }  // namespace pase

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "config/config_enum.h"
 #include "hetero/machine_file.h"
 #include "serve/json.h"
 
@@ -114,14 +115,42 @@ RequestParseResult parse_request(const std::string& line) {
     devices_fallback = spec_machine.num_devices;
   }
   req.comm_model = obj.get_string("comm_model", "simple");
+  if (const Json* sd = obj.get("split_dims")) {
+    if (!sd->is_string()) {
+      result.error = "field 'split_dims' must be a string";
+      return result;
+    }
+    const auto dims = parse_split_dims(sd->string);
+    if (!dims) {
+      result.error =
+          "field 'split_dims' must be a comma-separated subset of batch, "
+          "param, spatial, channel (or 'all'/'none')";
+      return result;
+    }
+    // Canonicalize so equivalent spellings share one result-cache entry.
+    req.split_dims = dims->to_string();
+  }
   std::string err;
   if (!read_i64(obj, "devices", 1, 1 << 20, devices_fallback, &req.devices,
                 &err) ||
       !read_i64(obj, "beam_width", 1, 1 << 20, 256, &req.beam_width, &err) ||
+      // The pipeline boundary DP coarsens to at most ~24 candidate cuts, so
+      // larger explicit stage counts can never be realized.
+      !read_i64(obj, "pipeline_stages", 0, 24, 1, &req.pipeline_stages,
+                &err) ||
+      !read_i64(obj, "microbatches", 1, 1 << 20, 8, &req.microbatches,
+                &err) ||
       !read_double(obj, "memory_gb", 0.0, 1e9, 0.0, &req.memory_gb, &err) ||
       !read_double(obj, "deadline_ms", 0.0, 1e9, 0.0, &req.deadline_ms,
                    &err)) {
     result.error = err;
+    return result;
+  }
+  if (req.pipeline_stages >= 2 && req.devices % req.pipeline_stages != 0) {
+    result.error = "field 'pipeline_stages' (" +
+                   std::to_string(req.pipeline_stages) +
+                   ") must divide 'devices' (" + std::to_string(req.devices) +
+                   ")";
     return result;
   }
   if (!req.machine_spec_json.empty() &&

@@ -24,6 +24,17 @@
 //                        above the server's --max-deadline-ms are clamped)
 //   "comm_model": simple|auto|ring|tree|hd|hier (default simple)
 //   "beam_width": N    — degraded-fallback beam width (default 256)
+//   "split_dims": LIST — per-layer split classes to search, comma-separated
+//                        from {batch,param,spatial,channel} or "all"/"none"
+//                        (default "batch,param", the paper's space;
+//                        canonicalized so equivalent spellings share one
+//                        result-cache entry)
+//   "pipeline_stages": N — inter-stage pipeline dimension: 1 = off (the
+//                        default, bit-identical to a plain solve), 0 =
+//                        auto (search the stage count), N in [2, 24] =
+//                        exactly N stages (must divide "devices")
+//   "microbatches": N  — micro-batches in flight for the pipeline
+//                        fill/drain model (default 8)
 //
 // Response codes — the full failure taxonomy (DESIGN.md §10):
 //   ok          solved to optimality within budget
@@ -68,6 +79,12 @@ struct ServeRequest {
   double deadline_ms = 0.0;  ///< 0 = server default
   std::string comm_model = "simple";
   i64 beam_width = 256;
+  /// Canonical (SplitDims::to_string) spelling of the searched split-dim
+  /// classes; canonicalizing at parse time makes "spatial,batch,param" and
+  /// "batch,param,spatial" share one result-cache entry.
+  std::string split_dims = "batch,param";
+  i64 pipeline_stages = 1;  ///< 1 = off, 0 = auto, N = exactly N stages
+  i64 microbatches = 8;     ///< pipeline fill/drain model
 };
 
 struct RequestParseResult {

@@ -74,6 +74,9 @@ u64 ResultKey::hash() const {
   h = hash_combine(h, bits_of(memory_gb));
   h = hash_string(h, comm_model);
   h = hash_combine(h, static_cast<u64>(beam_width));
+  h = hash_string(h, split_dims);
+  h = hash_combine(h, static_cast<u64>(pipeline_stages));
+  h = hash_combine(h, static_cast<u64>(microbatches));
   return h;
 }
 

@@ -54,6 +54,14 @@ struct ResultKey {
   double memory_gb = 0.0;
   std::string comm_model;
   i64 beam_width = 0;
+  /// Canonical split-dim spelling (ServeRequest::split_dims): equivalent
+  /// client spellings were already canonicalized at parse time, so they
+  /// land on the same entry; different searched spaces never share one.
+  std::string split_dims;
+  i64 pipeline_stages = 0;
+  /// Part of the key only because the fill/drain factor steers which stage
+  /// partition wins when pipeline_stages != 1.
+  i64 microbatches = 0;
 
   u64 hash() const;
 };

@@ -21,6 +21,7 @@
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
 #include "models/models.h"
+#include "pipeline/pipeline.h"
 #include "serve/json.h"
 #include "sim/memory.h"
 #include "util/hash.h"
@@ -487,6 +488,16 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req,
     metrics_.add_counter("serve.machine." + audit.machine, 1);
   }
 
+  // The stage-count/device divisibility check lives in parse_request; the
+  // graph-size bound needs the built graph, so it lives here.
+  if (req.pipeline_stages > graph.num_nodes()) {
+    resp.code = ResponseCode::kMalformed;
+    resp.reason = "pipeline_stages (" + std::to_string(req.pipeline_stages) +
+                  ") exceeds the model's layer count (" +
+                  std::to_string(graph.num_nodes()) + ")";
+    return finish(resp);
+  }
+
   ResultKey key;
   key.graph_sig = graph_signature(graph);
   // Inline specs key by their canonical JSON — two requests share a result
@@ -497,6 +508,9 @@ ServeResponse ServeCore::handle_solve(const ServeRequest& req,
   key.memory_gb = req.memory_gb;
   key.comm_model = req.comm_model;
   key.beam_width = req.beam_width;
+  key.split_dims = req.split_dims;
+  key.pipeline_stages = req.pipeline_stages;
+  key.microbatches = req.microbatches;
   const u64 khash = key.hash();
 
   const u64 request_index =
@@ -704,6 +718,9 @@ ServeCore::SolveOutcome ServeCore::run_solve(
 
   DpOptions options;
   options.config_options.max_devices = req.devices;
+  // req.split_dims is the canonical spelling parse_request stored, so it
+  // always parses here.
+  options.config_options.split_dims = *parse_split_dims(req.split_dims);
   const MachineSpec machine = *resolve_machine(req);
   const CommModelKind comm_kind = *parse_comm_model_kind(req.comm_model);
   options.cost_params = hetero_cost_params(machine, comm_kind);
@@ -734,7 +751,20 @@ ServeCore::SolveOutcome ServeCore::run_solve(
   options.trace = trace;
 
   const auto solve_start = std::chrono::steady_clock::now();
-  const DpResult result = find_best_strategy(graph, options);
+  DpResult result;
+  if (req.pipeline_stages != 1) {
+    // The pipeline-stage dimension: the boundary DP cuts the graph and
+    // re-parallelizes each stage under the same options (deadline, cancel
+    // token, split-dim gates, shared cost cache all thread through). The
+    // composed result carries a full-graph strategy and its Eq. (1) cost,
+    // so the cache/verify/render paths below need no special casing.
+    PipelineSearchOptions popts;
+    popts.stages = req.pipeline_stages;
+    popts.microbatches = req.microbatches;
+    result = find_best_pipelined_strategy(graph, machine, options, popts).dp;
+  } else {
+    result = find_best_strategy(graph, options);
+  }
   out.solve_ms = ms_since(solve_start);
   if (result.trip_cause != DpResult::TripCause::kNone)
     out.trip = trip_cause_name(result.trip_cause);

@@ -118,7 +118,7 @@ SimResult Simulator::simulate(const Strategy& phi, SimTrace* trace,
           comm_s += jitter() * all_reduce_time(c.volume_bytes, c.group);
           break;
         case CollectiveComm::Kind::kHaloExchange:
-          comm_s += jitter() * transfer_time(c.bytes, c.group);
+          comm_s += jitter() * comm_.halo_exchange_time(c.bytes, c.group);
           break;
       }
     }

@@ -140,7 +140,13 @@ INSTANTIATE_TEST_SUITE_P(
                 "--threads 2 --baseline"},
         CliCase{"zoo_transformer_block_p8.txt",
                 "%SRC%/tests/corpus/zoo_transformer_block.pase --devices 8 "
-                "--comm-model auto"}),
+                "--comm-model auto"},
+        CliCase{"zoo_resnet_large_p_splits_p8.txt",
+                "--zoo resnet_large_p --devices 8 --threads 2 --split-dims "
+                "batch,param,spatial,channel"},
+        CliCase{"zoo_transformer_pipelined_stages_p8.txt",
+                "--zoo transformer_pipelined --devices 8 --threads 2 "
+                "--pipeline-stages 2"}),
     [](const ::testing::TestParamInfo<CliCase>& info) {
       std::string name = info.param.golden;
       return name.substr(0, name.find('.'));

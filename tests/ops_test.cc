@@ -43,7 +43,13 @@ TEST(Ops, OneByOneConvHasNoHalo) {
 TEST(Ops, PoolHasNoParams) {
   const Node n = ops::pool("p", 2, 4, 8, 8, 3, 3);
   EXPECT_TRUE(n.params.empty());
-  EXPECT_TRUE(n.reduction_dims.empty());
+  // The window taps are reduction dims (splitting them leaves partial
+  // window sums), but they are builder-locked: only the channel split gate
+  // (--split-dims channel) can open them, so the legacy space never sees
+  // the partial-sum all-reduce.
+  EXPECT_EQ(n.reduction_dims, (std::vector<i32>{4, 5}));
+  EXPECT_FALSE(n.space.dim(4).splittable);
+  EXPECT_FALSE(n.space.dim(5).splittable);
   EXPECT_EQ(n.space.names(), "bchwrs");
 }
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "cost/cost_model.h"
 #include "models/models.h"
 #include "pipeline/pipeline.h"
 #include "search/baselines.h"
@@ -129,6 +130,112 @@ TEST(Pipeline, InvalidStageCountsSkipped) {
   // 3 does not divide 8; only the 1-stage variant is feasible.
   const PipelineResult r = partition_pipeline(g, m, popts(m, {3, 1}));
   EXPECT_EQ(r.stages.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The searched pipeline-stage dimension (find_best_pipelined_strategy):
+// the path --pipeline-stages and the serve protocol use.
+
+DpOptions search_solver(const MachineSpec& m) {
+  DpOptions o;
+  o.config_options.max_devices = m.num_devices;
+  o.cost_params = CostParams::for_machine(m);
+  return o;
+}
+
+TEST(PipelineSearch, SingleStageIsBitIdenticalToFindBestStrategy) {
+  // popts.stages == 1 is the disabled-dimension contract: the verbatim
+  // find_best_strategy result, bit for bit.
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  for (const char* name : {"alexnet", "vgg16", "transformer_pipelined"}) {
+    const Graph g = *models::zoo_graph(name);
+    const DpOptions solver = search_solver(m);
+    const DpResult plain = find_best_strategy(g, solver);
+    PipelineSearchOptions popts;
+    popts.stages = 1;
+    const PipelinedSearchResult r =
+        find_best_pipelined_strategy(g, m, solver, popts);
+    EXPECT_EQ(r.stages, 1) << name;
+    EXPECT_TRUE(r.stage_details.empty()) << name;
+    EXPECT_EQ(r.dp.status, plain.status) << name;
+    EXPECT_EQ(r.dp.best_cost, plain.best_cost) << name;  // bitwise
+    EXPECT_TRUE(r.dp.strategy == plain.strategy) << name;
+    EXPECT_DOUBLE_EQ(r.step_seconds, r.no_pipeline_seconds) << name;
+  }
+}
+
+TEST(PipelineSearch, ExplicitStageCountIsRespected) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = *models::zoo_graph("transformer_pipelined");
+  PipelineSearchOptions popts;
+  popts.stages = 4;
+  const PipelinedSearchResult r =
+      find_best_pipelined_strategy(g, m, search_solver(m), popts);
+  ASSERT_EQ(r.dp.status, DpStatus::kOk);
+  EXPECT_EQ(r.stages, 4);
+  EXPECT_EQ(r.devices_per_stage, 2);
+  ASSERT_EQ(r.stage_details.size(), 4u);
+  // The composed strategy covers every original node exactly once, and the
+  // bottleneck is the slowest stage.
+  std::set<NodeId> seen;
+  double max_stage = 0.0;
+  for (const auto& s : r.stage_details) {
+    for (NodeId v : s.nodes) EXPECT_TRUE(seen.insert(v).second);
+    max_stage = std::max(max_stage, s.seconds());
+  }
+  EXPECT_EQ(static_cast<i64>(seen.size()), g.num_nodes());
+  EXPECT_NEAR(r.bottleneck_seconds, max_stage, 1e-12);
+  EXPECT_GE(r.step_seconds, r.bottleneck_seconds);
+  EXPECT_EQ(static_cast<i64>(r.dp.strategy.size()), g.num_nodes());
+}
+
+TEST(PipelineSearch, AutoNeverLosesToAnyFixedStageCount) {
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = *models::zoo_graph("transformer_pipelined");
+  PipelineSearchOptions auto_popts;
+  auto_popts.stages = 0;
+  const PipelinedSearchResult best =
+      find_best_pipelined_strategy(g, m, search_solver(m), auto_popts);
+  ASSERT_EQ(best.dp.status, DpStatus::kOk);
+  for (const i64 n : {1LL, 2LL, 4LL, 8LL}) {
+    PipelineSearchOptions popts;
+    popts.stages = n;
+    const PipelinedSearchResult fixed =
+        find_best_pipelined_strategy(g, m, search_solver(m), popts);
+    EXPECT_LE(best.step_seconds, fixed.step_seconds * (1 + 1e-9))
+        << "stages=" << n;
+  }
+}
+
+TEST(PipelineSearch, InfeasiblePartitionReportsInfeasibleNotAbort) {
+  // Tiny graph, 8 devices, 8 stages requested: the boundary budget admits
+  // at most num_nodes stages, so no partition exists. The searched path
+  // must report kInfeasible instead of aborting the process.
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = models::mlp(32, {64, 64});
+  ASSERT_LT(g.num_nodes(), 8);
+  PipelineSearchOptions popts;
+  popts.stages = 8;
+  const PipelinedSearchResult r =
+      find_best_pipelined_strategy(g, m, search_solver(m), popts);
+  EXPECT_EQ(r.dp.status, DpStatus::kInfeasible);
+  EXPECT_TRUE(r.dp.strategy.empty());
+}
+
+TEST(PipelineSearch, ComposedCostMatchesCostModelTotal) {
+  // stages > 1: dp.best_cost is the full-graph Eq. (1) evaluation of the
+  // composed strategy — the same number serve's verify-on-hit recomputes.
+  const MachineSpec m = MachineSpec::gtx1080ti(8);
+  const Graph g = *models::zoo_graph("transformer_pipelined");
+  const DpOptions solver = search_solver(m);
+  PipelineSearchOptions popts;
+  popts.stages = 2;
+  const PipelinedSearchResult r =
+      find_best_pipelined_strategy(g, m, solver, popts);
+  ASSERT_EQ(r.dp.status, DpStatus::kOk);
+  ASSERT_EQ(r.stages, 2);
+  const CostModel cm(g, solver.cost_params);
+  EXPECT_DOUBLE_EQ(r.dp.best_cost, cm.total_cost(r.dp.strategy));
 }
 
 TEST(Pipeline, WorksOnBranchyGraphs) {

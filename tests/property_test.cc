@@ -7,9 +7,11 @@
 #include <memory>
 
 #include "comm/comm_model.h"
+#include "config/config_enum.h"
 #include "core/dp_solver.h"
 #include "cost/cost_model.h"
 #include "models/models.h"
+#include "ops/ops.h"
 #include "search/baselines.h"
 #include "search/mcmc.h"
 #include "sim/memory.h"
@@ -245,6 +247,174 @@ TEST(SimulatorProperty, StepTimeMonotoneNonIncreasingInBandwidth) {
       EXPECT_LE(step, prev * (1 + 1e-12)) << "scale=" << scale;
       prev = step;
     }
+  }
+}
+
+// ---- Widened strategy space (--split-dims): gating, bit-identity and
+// optimality. Suite name starts with "DpSolver" so the TSan stage's filter
+// picks up the threaded bit-identity sweep.
+
+// Every zoo name from src/models/zoo.cc apart from the generated
+// transformer_stack_<N> family (structurally a repeat of its blocks).
+const char* const kZooNames[] = {
+    "alexnet",      "inception_v3", "rnnlm",
+    "transformer",  "densenet",     "resnet50",
+    "vgg16",        "mobilenet_v1", "gnmt",
+    "mlp",          "resnet_large_p", "transformer_pipelined"};
+
+TEST(DpSolverSplitDims, DefaultGatesEqualBuilderSplittableEverywhere) {
+  // The disabled-dimension contract rests on this: with the default
+  // {batch,param} gates, the per-dim mask equals the builder-declared
+  // splittable flag for every node of every zoo model, so the enumerated
+  // space — and therefore the DP — is bitwise the legacy one.
+  const SplitDims defaults;
+  for (const char* name : kZooNames) {
+    const Graph g = *models::zoo_graph(name);
+    for (const Node& n : g.nodes())
+      for (i64 d = 0; d < n.space.rank(); ++d)
+        EXPECT_EQ(dim_splittable(n, d, defaults), n.space.dim(d).splittable)
+            << name << " " << n.name << " dim " << d;
+  }
+}
+
+TEST(DpSolverSplitDims, DisabledDimsBitIdenticalAcrossZooAndThreads) {
+  // --split-dims batch,param must reproduce the legacy solve bit for bit
+  // on every zoo model, at any thread count.
+  for (const char* name : kZooNames) {
+    const Graph g = *models::zoo_graph(name);
+    DpOptions base;
+    base.config_options.max_devices = 8;
+    base.cost_params = CostParams::for_machine(MachineSpec::gtx1080ti(8));
+    base.num_threads = 1;
+    // densenet trips the table guard; the degraded beam fallback is
+    // deterministic and gated identically, so the contract covers it too.
+    base.degraded_fallback = true;
+    const DpResult legacy = find_best_strategy(g, base);
+    ASSERT_TRUE(legacy.status == DpStatus::kOk ||
+                legacy.status == DpStatus::kDegraded)
+        << name;
+    for (const i64 threads : {1, 4, 8}) {
+      DpOptions opt = base;
+      opt.config_options.split_dims = *parse_split_dims("batch,param");
+      opt.num_threads = threads;
+      const DpResult r = find_best_strategy(g, opt);
+      ASSERT_EQ(r.status, legacy.status) << name;
+      EXPECT_EQ(r.best_cost, legacy.best_cost)  // bitwise, not NEAR
+          << name << " threads=" << threads;
+      EXPECT_TRUE(r.strategy == legacy.strategy)
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(DpSolverSplitDims, WidenedSpaceNeverWorseOnZoo) {
+  // The widened space is a strict superset of the legacy one, so the DP
+  // optimum can only improve.
+  for (const char* name : kZooNames) {
+    const Graph g = *models::zoo_graph(name);
+    DpOptions legacy_opt;
+    legacy_opt.config_options.max_devices = 8;
+    legacy_opt.cost_params =
+        CostParams::for_machine(MachineSpec::gtx1080ti(8));
+    legacy_opt.degraded_fallback = true;  // densenet trips the table guard
+    DpOptions widened_opt = legacy_opt;
+    widened_opt.config_options.split_dims = *parse_split_dims("all");
+    const DpResult legacy = find_best_strategy(g, legacy_opt);
+    const DpResult widened = find_best_strategy(g, widened_opt);
+    ASSERT_TRUE(widened.status == DpStatus::kOk ||
+                widened.status == DpStatus::kDegraded)
+        << name;
+    // The superset argument only binds exact optima; beam-degraded solves
+    // (densenet) are excluded from the bound.
+    if (legacy.status == DpStatus::kOk && widened.status == DpStatus::kOk)
+      EXPECT_LE(widened.best_cost, legacy.best_cost * (1 + 1e-12)) << name;
+  }
+}
+
+TEST(DpSolverSplitDims, WidenedSpaceNeverWorseOnRandomGraphs) {
+  // FC-only random graphs expose no spatial/channel dims, so the widened
+  // space degenerates to the legacy one — the bound must still hold, with
+  // equality.
+  for (const u64 seed : {301u, 302u, 303u}) {
+    const Graph g = testing::random_graph(7, 3, seed);
+    DpOptions legacy_opt;
+    legacy_opt.config_options.max_devices = 8;
+    legacy_opt.cost_params =
+        CostParams::for_machine(MachineSpec::gtx1080ti(8));
+    DpOptions widened_opt = legacy_opt;
+    widened_opt.config_options.split_dims = *parse_split_dims("all");
+    const DpResult legacy = find_best_strategy(g, legacy_opt);
+    const DpResult widened = find_best_strategy(g, widened_opt);
+    ASSERT_EQ(widened.status, DpStatus::kOk) << "seed=" << seed;
+    EXPECT_EQ(widened.best_cost, legacy.best_cost) << "seed=" << seed;
+  }
+}
+
+// ---- Halo-exchange pricing (spatial splits of windowed ops).
+
+TEST(HaloCost, HaloExchangeTimeMonotoneInBytesAndGroup) {
+  const MachineSpec machines[] = {MachineSpec::gtx1080ti(16),
+                                  MachineSpec::mixed_cluster(16),
+                                  MachineSpec::multi_tier(16)};
+  const CommModelKind kinds[] = {CommModelKind::kSimple,
+                                 CommModelKind::kAuto, CommModelKind::kRing};
+  for (const MachineSpec& m : machines) {
+    for (const CommModelKind kind : kinds) {
+      const CommModel comm(m, kind);
+      // Degenerate halos are free.
+      EXPECT_DOUBLE_EQ(comm.halo_exchange_time(0.0, 8), 0.0);
+      EXPECT_DOUBLE_EQ(comm.halo_exchange_time(1 << 20, 1), 0.0);
+      for (const i64 group : {2, 4, 8, 16}) {
+        double prev = 0.0;
+        for (const double bytes : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+          const double t = comm.halo_exchange_time(bytes, group);
+          EXPECT_GT(t, prev) << m.name << " group=" << group;
+          prev = t;
+        }
+      }
+      // Wider groups cross the same or slower link classes, never faster.
+      for (const double bytes : {1e4, 1e6}) {
+        double prev = 0.0;
+        for (const i64 group : {2, 4, 8, 16}) {
+          const double t = comm.halo_exchange_time(bytes, group);
+          EXPECT_GE(t, prev * (1 - 1e-12)) << m.name << " bytes=" << bytes;
+          prev = t;
+        }
+      }
+    }
+  }
+}
+
+TEST(HaloCost, ConvHaloCollectivesAppearOnlyWhenSplitAndMonotoneInDegree) {
+  // A 3x3 conv with spatial splits allowed: dims (b, c, h, w, n, r, s).
+  const Node conv =
+      ops::conv2d("c", 8, 16, 32, 32, 16, 3, 3, /*allow_spatial_split=*/true);
+  const CostParams params =
+      CostParams::for_machine(MachineSpec::gtx1080ti(16));
+  const CommModel comm(MachineSpec::gtx1080ti(16), CommModelKind::kSimple);
+  auto halo_time = [&](i64 h_split) {
+    Config cfg = Config::ones(conv.space.rank());
+    cfg.set(2, static_cast<u16>(h_split));  // split the output height dim
+    double t = 0.0;
+    i64 count = 0;
+    for (const CollectiveComm& c : layer_collectives(conv, cfg, params))
+      if (c.kind == CollectiveComm::Kind::kHaloExchange) {
+        t += comm.halo_exchange_time(c.bytes, c.group);
+        ++count;
+      }
+    EXPECT_EQ(count, h_split > 1 ? 1 : 0) << "h_split=" << h_split;
+    return t;
+  };
+  EXPECT_DOUBLE_EQ(halo_time(1), 0.0);  // unsplit planes exchange nothing
+  // Cost is weakly monotone in the split degree: the boundary planes traded
+  // with the neighbors keep their size, so deeper splits only hurt once the
+  // group spills onto a slower link class.
+  double prev = 0.0;
+  for (const i64 d : {2, 4, 8}) {
+    const double t = halo_time(d);
+    EXPECT_GT(t, 0.0) << "h_split=" << d;
+    EXPECT_GE(t, prev * (1 - 1e-12)) << "h_split=" << d;
+    prev = t;
   }
 }
 

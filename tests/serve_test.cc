@@ -796,6 +796,117 @@ TEST(ServeCore, DeltaReSolveReusesTablesAcrossDeviceCounts) {
   EXPECT_TRUE(parse_json(tail[1])->get_bool("reuse", false));
 }
 
+// ---------------------------------------------------------------------------
+// Widened strategy space over the wire: split_dims and pipeline_stages
+
+TEST(ServeProtocol, SplitDimsAreCanonicalizedAndValidated) {
+  // Equivalent spellings canonicalize to one string at parse time, so the
+  // result-cache key unifies them.
+  const auto a = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"split_dims\":"
+      "\"spatial,batch,param\"}");
+  ASSERT_TRUE(a.ok);
+  const auto b = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"split_dims\":"
+      "\"batch,param,spatial\"}");
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.request.split_dims, b.request.split_dims);
+
+  // Default = the legacy space.
+  const auto d = parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\"}");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.request.split_dims, "batch,param");
+  EXPECT_EQ(d.request.pipeline_stages, 1);
+
+  EXPECT_FALSE(parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\","
+                             "\"split_dims\":\"bogus\"}")
+                   .ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\","
+                             "\"split_dims\":\"batch,\"}")
+                   .ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\","
+                             "\"split_dims\":7}")
+                   .ok);
+}
+
+TEST(ServeProtocol, PipelineStagesValidatedAgainstDevices) {
+  const auto ok = parse_request(
+      "{\"op\":\"solve\",\"zoo\":\"mlp\",\"devices\":8,"
+      "\"pipeline_stages\":2,\"microbatches\":16}");
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.request.pipeline_stages, 2);
+  EXPECT_EQ(ok.request.microbatches, 16);
+  // 3 does not divide 8.
+  EXPECT_FALSE(parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\","
+                             "\"devices\":8,\"pipeline_stages\":3}")
+                   .ok);
+  // Out of range (boundary DP coarsens to ~24 cuts).
+  EXPECT_FALSE(parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\","
+                             "\"devices\":32,\"pipeline_stages\":32}")
+                   .ok);
+  EXPECT_FALSE(parse_request("{\"op\":\"solve\",\"zoo\":\"mlp\","
+                             "\"microbatches\":0}")
+                   .ok);
+}
+
+TEST(ServeCore, SplitDimsKeyMissesThenHitsAndSpellingsShareOneEntry) {
+  ServeCore core(quiet_options());
+  const auto plain = parse_json(core.handle_line(solve_line("mlp", 4)));
+  ASSERT_EQ(plain->get_string("code"), "ok");
+  // A widened request is a different key: miss, not a false hit off the
+  // legacy entry.
+  const auto widened = parse_json(core.handle_line(
+      solve_line("mlp", 4, ",\"split_dims\":\"all\"")));
+  ASSERT_EQ(widened->get_string("code"), "ok");
+  EXPECT_EQ(widened->get_string("cache"), "miss");
+  // mlp is FC-only, so the widened space degenerates to the legacy one and
+  // the answers must agree bit for bit — through different cache entries.
+  EXPECT_EQ(widened->get_number("cost"), plain->get_number("cost"));
+  EXPECT_EQ(widened->get_string("strategy"), plain->get_string("strategy"));
+  // An equivalent spelling of the same space is a hit on the same entry.
+  const auto respelled = parse_json(core.handle_line(solve_line(
+      "mlp", 4, ",\"split_dims\":\"channel,spatial,param,batch\"")));
+  EXPECT_EQ(respelled->get_string("cache"), "hit");
+  // An explicit legacy spelling hits the default entry.
+  const auto legacy = parse_json(core.handle_line(
+      solve_line("mlp", 4, ",\"split_dims\":\"batch,param\"")));
+  EXPECT_EQ(legacy->get_string("cache"), "hit");
+  EXPECT_EQ(core.metrics().counter("serve.cache.hits"), 2u);
+  EXPECT_EQ(core.metrics().counter("serve.cache.misses"), 2u);
+}
+
+TEST(ServeCore, PipelineStagesSolveRoundTripAndKeying) {
+  ServeCore core(quiet_options());
+  const auto plain = parse_json(
+      core.handle_line(solve_line("transformer_pipelined", 8)));
+  ASSERT_EQ(plain->get_string("code"), "ok");
+  const std::string pipelined_line = solve_line(
+      "transformer_pipelined", 8, ",\"pipeline_stages\":2");
+  const auto first = parse_json(core.handle_line(pipelined_line));
+  ASSERT_EQ(first->get_string("code"), "ok");
+  EXPECT_EQ(first->get_string("cache"), "miss");  // distinct key
+  const auto second = parse_json(core.handle_line(pipelined_line));
+  ASSERT_EQ(second->get_string("code"), "ok");
+  EXPECT_EQ(second->get_string("cache"), "hit");
+  EXPECT_EQ(first->get_string("strategy"), second->get_string("strategy"));
+  EXPECT_EQ(first->get_number("cost"), second->get_number("cost"));
+  // Micro-batch count steers which partition wins, so it is part of the
+  // key too.
+  const auto more_mb = parse_json(core.handle_line(solve_line(
+      "transformer_pipelined", 8,
+      ",\"pipeline_stages\":2,\"microbatches\":64")));
+  ASSERT_EQ(more_mb->get_string("code"), "ok");
+  EXPECT_EQ(more_mb->get_string("cache"), "miss");
+}
+
+TEST(ServeCore, PipelineStagesExceedingLayersIsMalformed) {
+  ServeCore core(quiet_options());
+  // mlp has 4 layers; 8 stages parses (8 divides 8) but cannot partition.
+  const auto r = parse_json(core.handle_line(
+      solve_line("mlp", 8, ",\"pipeline_stages\":8")));
+  EXPECT_EQ(r->get_string("code"), "malformed");
+}
+
 TEST(ServeCore, DeltaReSolveCanBeDisabled) {
   ServeOptions options = quiet_options();
   options.reuse_tables = false;

@@ -101,6 +101,27 @@ expect 2 "bad comm model" -- \
 expect 0 "auto comm model" -- \
   "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --comm-model auto
 
+note "widened strategy space flags (--split-dims / --pipeline-stages)"
+expect 2 "bad split dims" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --split-dims bogus
+expect 2 "trailing comma in split dims" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --split-dims batch,
+# Spatial splits on an all-MatMul model: nothing to open, but that is a
+# note in the report, not an error.
+expect 0 "spatial split dims on a matmul-only model" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --split-dims spatial
+expect 2 "bad pipeline stage count" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --pipeline-stages 0
+expect 2 "pipeline stages not dividing devices" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --pipeline-stages 3
+expect 2 "pipeline stages exceeding the layer count" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --pipeline-stages 4
+expect 0 "explicit single pipeline stage" -- \
+  "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --pipeline-stages 1
+"$CLI" "$ROOT/tests/corpus/valid_tiny.pase" --devices 4 --split-dims spatial \
+  2>/dev/null | grep -q "no eligible spatial/channel dims" \
+  || bad "spatial split on a matmul-only model must report no eligible dims"
+
 note "degraded-mode acceptance (guard trip must still exit 0)"
 expect 0 "dense model degrades gracefully" -- \
   "$ROOT/tools/dense_model.pase" --devices 4
@@ -241,7 +262,7 @@ if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
   if [ -x "$TSAN_BUILD/tests/pase_tests" ]; then
     note "running concurrency tests under TSan"
     TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD/tests/pase_tests" \
-        --gtest_filter='ThreadPool.*:CostCache.*:Determinism.*:DpSolver*.*:Serve*.*' \
+        --gtest_filter='ThreadPool.*:CostCache.*:Determinism.*:DpSolver*.*:Serve*.*:HaloCost.*' \
       || bad "TSan concurrency tests"
   fi
 fi
@@ -462,6 +483,50 @@ accept)"
   fi
 else
   bad "hetero gate: ablation_heterogeneous / bench_gate not built"
+fi
+
+# Widened-space gate: ablation_split_dims solves resnet_large_p with the
+# legacy vs widened (--split-dims all) per-layer space on 64 devices and
+# runs the auto pipeline-stage search on transformer_pipelined over the
+# mixed cluster. The binary enforces the win claims itself (the widened
+# space never costs more under the DP's metric and strictly beats the
+# legacy strategy under simulation; auto pipelining strictly beats the
+# single-stage reference) and exits non-zero on violation; the gate then
+# diffs the DP costs / simulated steps / pipeline steps against
+# BENCH_splits.json. Deterministic (no wall-clock), so a single run
+# suffices — drift means the config/cost/comm/pipeline model changed;
+# refresh with PASE_UPDATE_BENCH=1 tools/check.sh after an intentional
+# model change.
+if [ -f "$BENCH_BUILD/CMakeCache.txt" ]; then
+  note "building ablation_split_dims (-j$JOBS)"
+  cmake --build "$BENCH_BUILD" -j "$JOBS" --target ablation_split_dims \
+        >> "$BENCH_BUILD.build.log" 2>&1 \
+    || bad "ablation_split_dims build (see $BENCH_BUILD.build.log)"
+fi
+BENCH_SPLITS="$BENCH_BUILD/bench/ablation_split_dims"
+if [ -x "$BENCH_SPLITS" ] && [ -x "$BENCH_GATE" ]; then
+  note "running ablation_split_dims (win claims + gate; ~30s)"
+  if "$BENCH_SPLITS" > "$OBS_TMP/bench_splits.json" \
+       2> "$OBS_TMP/bench_splits.log"; then
+    if [ -n "${PASE_UPDATE_BENCH:-}" ]; then
+      "$BENCH_GATE" --update "$ROOT/BENCH_splits.json" \
+          "$OBS_TMP/bench_splits.json" \
+        || bad "splits gate: baseline refresh failed"
+      note "refreshed BENCH_splits.json (PASE_UPDATE_BENCH)"
+    elif "$BENCH_GATE" "$ROOT/BENCH_splits.json" \
+           "$OBS_TMP/bench_splits.json"; then
+      note "ok splits gate (DP costs and step times match BENCH_splits.json)"
+    else
+      bad "splits gate: DP costs / step times drifted vs BENCH_splits.json \
+(the config/cost/comm/pipeline model changed; PASE_UPDATE_BENCH=1 \
+tools/check.sh to accept)"
+    fi
+  else
+    bad "ablation_split_dims failed a win claim or crashed \
+(see $OBS_TMP/bench_splits.log)"
+  fi
+else
+  bad "splits gate: ablation_split_dims / bench_gate not built"
 fi
 
 note "docs gate: README.md vs pase_cli --help"

@@ -8,7 +8,16 @@
 //            [--threads N] [--no-cost-cache] [--comm-model MODE]
 //            [--max-model-nodes N]
 //            [--zoo NAME] [--collapse-blocks] [--reuse-tables]
+//            [--split-dims LIST] [--pipeline-stages N|auto]
 //            [--faults SPEC] [--fault-aware] [--robustness N] [--seed S]
+//
+// Strategy-space options: --split-dims opens extra per-layer split classes
+// beyond the paper's batch/parameter space — comma-separated from
+// {batch,param,spatial,channel} (or "all"/"none"); the default
+// "batch,param" reproduces the legacy space bitwise. --pipeline-stages
+// adds the inter-stage pipeline dimension: the graph is cut into N stages
+// (or the best count with "auto"), each stage re-parallelized by the DP on
+// its share of the devices; 1 (the default) disables pipelining bitwise.
 //
 // Scaling options (docs/SCALING.md): --collapse-blocks detects repeated
 // structurally-identical blocks (e.g. a GPT stack's layers), solves one
@@ -63,6 +72,8 @@
 //   1  runtime error (unreadable file, bad model, guard trip under --strict)
 //   2  usage error (unknown flag, missing or malformed flag value)
 //   3  infeasible (no configuration satisfies the memory budget)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,6 +93,7 @@
 #include "io/model_parser.h"
 #include "io/strategy_io.h"
 #include "models/models.h"
+#include "pipeline/pipeline.h"
 #include "search/baselines.h"
 #include "sim/memory.h"
 #include "sim/simulator.h"
@@ -109,10 +121,23 @@ void print_usage(std::FILE* out, const char* argv0) {
       "          [--max-table-entries N] [--max-combinations N]\n"
       "          [--max-model-nodes N]\n"
       "          [--zoo NAME] [--collapse-blocks] [--reuse-tables]\n"
+      "          [--split-dims LIST] [--pipeline-stages N|auto]\n"
+      "          [--microbatches N]\n"
       "          [--faults SPEC] [--fault-aware] [--robustness N] [--seed "
       "S]\n"
       "          [--help]\n"
       "\n"
+      "strategy space: --split-dims LIST opens extra per-layer split\n"
+      "            classes — comma-separated from batch, param, spatial,\n"
+      "            channel (or 'all'/'none'); the default 'batch,param' is\n"
+      "            the paper's space, bit-identical to omitting the flag.\n"
+      "            spatial opens locked H/W (and sequence) dims with halo-\n"
+      "            exchange pricing, channel opens filter taps and per-head\n"
+      "            channels; --pipeline-stages N cuts the graph into N\n"
+      "            pipeline stages ('auto' searches the stage count; 1, the\n"
+      "            default, disables pipelining bitwise); N must divide the\n"
+      "            device count; --microbatches N sets the micro-batches in\n"
+      "            flight for the pipeline fill/drain model (default 8)\n"
       "scaling:    --collapse-blocks solves one representative of each\n"
       "            maximal run of repeated structurally-identical blocks\n"
       "            and stitches (bit-identical to the uncollapsed solve;\n"
@@ -219,6 +244,11 @@ int main(int argc, char** argv) {
   const char* zoo_name = nullptr;
   bool collapse_blocks = false;
   bool reuse_tables = false;
+  SplitDims split_dims;
+  bool split_dims_given = false;
+  i64 pipeline_stages = 1;  // 1 = off, 0 = auto
+  bool pipeline_given = false;
+  i64 pipeline_microbatches = 8;
   const char* faults_arg = nullptr;
   bool fault_aware = false;
   i64 robustness_scenarios = 16;
@@ -307,6 +337,30 @@ int main(int argc, char** argv) {
         return kExitUsage;
     } else if (std::strcmp(arg, "--zoo") == 0) {
       if (!value(&zoo_name)) return kExitUsage;
+    } else if (std::strcmp(arg, "--split-dims") == 0) {
+      if (!value(&v)) return kExitUsage;
+      const auto parsed = parse_split_dims(v);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "error: invalid value '%s' for --split-dims (expected a "
+                     "comma-separated subset of batch, param, spatial, "
+                     "channel, or 'all'/'none')\n",
+                     v);
+        return kExitUsage;
+      }
+      split_dims = *parsed;
+      split_dims_given = true;
+    } else if (std::strcmp(arg, "--pipeline-stages") == 0) {
+      if (!value(&v)) return kExitUsage;
+      if (std::strcmp(v, "auto") == 0) {
+        pipeline_stages = 0;
+      } else if (!parse_i64_flag(arg, v, 1, &pipeline_stages)) {
+        return kExitUsage;
+      }
+      pipeline_given = true;
+    } else if (std::strcmp(arg, "--microbatches") == 0) {
+      if (!value(&v) || !parse_i64_flag(arg, v, 1, &pipeline_microbatches))
+        return kExitUsage;
     } else if (std::strcmp(arg, "--collapse-blocks") == 0) {
       collapse_blocks = true;
     } else if (std::strcmp(arg, "--reuse-tables") == 0) {
@@ -432,6 +486,31 @@ int main(int argc, char** argv) {
   }
   const FaultModel fault_model(fault_spec, static_cast<u64>(fault_seed));
 
+  // The pipeline boundary DP splits devices evenly across stages and cuts a
+  // coarsened boundary set (at most ~24 candidate cuts on large graphs), so
+  // an explicit stage count must divide the device count and fit the graph.
+  if (pipeline_stages >= 2) {
+    if (devices % pipeline_stages != 0) {
+      std::fprintf(stderr,
+                   "error: --pipeline-stages %lld does not divide the device "
+                   "count %lld\n",
+                   static_cast<long long>(pipeline_stages),
+                   static_cast<long long>(devices));
+      return kExitUsage;
+    }
+    const i64 max_stages = std::min<i64>(graph.num_nodes(), 24);
+    if (pipeline_stages > max_stages) {
+      std::fprintf(stderr,
+                   "error: --pipeline-stages %lld exceeds the supported "
+                   "maximum of %lld for this model (%lld layers, at most 24 "
+                   "stages)\n",
+                   static_cast<long long>(pipeline_stages),
+                   static_cast<long long>(max_stages),
+                   static_cast<long long>(graph.num_nodes()));
+      return kExitUsage;
+    }
+  }
+
   DpOptions options;
   options.collapse_blocks = collapse_blocks;
   // A shared context makes the --faults degraded re-solve a delta re-solve:
@@ -440,6 +519,10 @@ int main(int argc, char** argv) {
   DpContext solver_context;
   if (reuse_tables) options.context = &solver_context;
   options.config_options.max_devices = devices;
+  // The widened per-layer strategy space (--split-dims): the default
+  // {batch,param} mask equals every layer's builder-declared splittable
+  // dims, so omitting the flag reproduces the legacy space bitwise.
+  options.config_options.split_dims = split_dims;
   // Fault-aware search prices compute/communication on the degraded
   // machine (weakest-device rule, degraded links), so the found strategy
   // is the best one for the cluster as it actually is.
@@ -473,7 +556,27 @@ int main(int argc, char** argv) {
     options.metrics = &*metrics_registry;
   }
 
-  const DpResult r = find_best_strategy(graph, options);
+  // --pipeline-stages != 1 routes through the pipeline-dimension search:
+  // the boundary DP cuts the graph into stages and re-parallelizes each
+  // stage's subgraph under the same solver options (split-dim gates
+  // included) on its share of the devices. stages == 1 is the plain solve,
+  // bit for bit.
+  std::optional<PipelinedSearchResult> pipelined;
+  DpResult r;
+  if (pipeline_stages != 1) {
+    PipelineSearchOptions popts;
+    popts.stages = pipeline_stages;
+    popts.microbatches = pipeline_microbatches;
+    const auto t0 = std::chrono::steady_clock::now();
+    pipelined =
+        find_best_pipelined_strategy(graph, search_machine, options, popts);
+    r = pipelined->dp;
+    r.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } else {
+    r = find_best_strategy(graph, options);
+  }
   if (r.status == DpStatus::kOutOfMemory) {
     std::fprintf(stderr,
                  "error: solver guard tripped (%s); rerun without --strict "
@@ -508,25 +611,37 @@ int main(int argc, char** argv) {
     std::printf("machine spec: %s (%s, %lld devices%s)\n", machine_spec_path,
                 machine.name.c_str(), static_cast<long long>(devices),
                 hetero.uniform() ? "" : ", heterogeneous");
-  std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms%s\n",
-              static_cast<long long>(graph.num_nodes()),
-              static_cast<long long>(r.max_configs),
-              static_cast<long long>(r.max_dependent_set),
-              r.elapsed_seconds * 1e3,
-              r.status == DpStatus::kDegraded ? "   [degraded: beam search]"
-                                              : "");
-  const u64 cache_total = r.cost_cache_hits + r.cost_cache_misses;
-  std::printf("threads: %lld   cost cache: %s",
-              static_cast<long long>(r.threads_used),
-              no_cost_cache ? "off" : "");
-  if (!no_cost_cache)
-    std::printf("%llu hits / %llu misses (%.0f%% hit rate)",
-                static_cast<unsigned long long>(r.cost_cache_hits),
-                static_cast<unsigned long long>(r.cost_cache_misses),
-                cache_total ? 100.0 * static_cast<double>(r.cost_cache_hits) /
-                                  static_cast<double>(cache_total)
-                            : 0.0);
-  std::printf("\n");
+  if (pipelined && pipelined->stages > 1) {
+    // A pipelined solve aggregates many per-stage DP runs; per-solve stats
+    // (K, M, thread/cache counters) are not meaningful for the composite.
+    std::printf("\nlayers: %lld   stages: %lld x %lld devices   "
+                "search: %.1f ms\n",
+                static_cast<long long>(graph.num_nodes()),
+                static_cast<long long>(pipelined->stages),
+                static_cast<long long>(pipelined->devices_per_stage),
+                r.elapsed_seconds * 1e3);
+  } else {
+    std::printf("\nlayers: %lld   K: %lld   M: %lld   search: %.1f ms%s\n",
+                static_cast<long long>(graph.num_nodes()),
+                static_cast<long long>(r.max_configs),
+                static_cast<long long>(r.max_dependent_set),
+                r.elapsed_seconds * 1e3,
+                r.status == DpStatus::kDegraded ? "   [degraded: beam search]"
+                                                : "");
+    const u64 cache_total = r.cost_cache_hits + r.cost_cache_misses;
+    std::printf("threads: %lld   cost cache: %s",
+                static_cast<long long>(r.threads_used),
+                no_cost_cache ? "off" : "");
+    if (!no_cost_cache)
+      std::printf(
+          "%llu hits / %llu misses (%.0f%% hit rate)",
+          static_cast<unsigned long long>(r.cost_cache_hits),
+          static_cast<unsigned long long>(r.cost_cache_misses),
+          cache_total ? 100.0 * static_cast<double>(r.cost_cache_hits) /
+                            static_cast<double>(cache_total)
+                      : 0.0);
+    std::printf("\n");
+  }
   if (collapse_blocks) {
     if (r.collapse_fired)
       std::printf("block collapse: period %lld x %lld blocks (ordering %s)\n",
@@ -546,6 +661,39 @@ int main(int argc, char** argv) {
                 comm_algo_name(sim.comm_model().chosen_algorithm(
                     Collective::kAllReduce, 1 << 20, devices)));
   std::printf("\n");
+  if (split_dims_given) {
+    // How much of the widened space this model actually exposes: layers
+    // where a builder-locked dim became splittable under the given gates.
+    i64 opened = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const Node& node = graph.node(v);
+      for (i64 d = 0; d < node.space.rank(); ++d)
+        if (!node.space.dim(d).splittable &&
+            dim_splittable(node, d, split_dims)) {
+          ++opened;
+          break;
+        }
+    }
+    std::printf("split dims: %s (%lld of %lld layers gain dims%s)\n",
+                split_dims.to_string().c_str(),
+                static_cast<long long>(opened),
+                static_cast<long long>(graph.num_nodes()),
+                opened == 0 && (split_dims.spatial || split_dims.channel)
+                    ? "; no eligible spatial/channel dims in this model"
+                    : "");
+  }
+  if (pipeline_given) {
+    if (pipelined && pipelined->stages > 1)
+      std::printf("pipeline: bottleneck %.2f ms, step %.2f ms (%lld "
+                  "micro-batches), no-pipeline %.2f ms, gain %.2fx\n",
+                  pipelined->bottleneck_seconds * 1e3,
+                  pipelined->step_seconds * 1e3,
+                  static_cast<long long>(pipeline_microbatches),
+                  pipelined->no_pipeline_seconds * 1e3,
+                  pipelined->no_pipeline_seconds / pipelined->step_seconds);
+    else
+      std::printf("pipeline: 1 stage (no pipelining)\n");
+  }
   std::printf("analytical cost: %.4g FLOP-equiv   simulated step: %.2f ms   "
               "per-device memory: %.2f GB\n",
               r.best_cost, sim.simulate(r.strategy).step_time_s * 1e3,
